@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared machinery for the benchmark harness.
+ *
+ * Every bench regenerates one table or figure of the paper at a reduced,
+ * laptop-friendly scale and prints `paper` vs `measured` rows. Scale is
+ * controlled by the TLP_BENCH_SCALE environment variable (default 1.0;
+ * larger values move toward paper scale).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/collect.h"
+#include "dataset/metrics.h"
+#include "dataset/splits.h"
+#include "models/cost_model.h"
+#include "models/tlp_model.h"
+#include "support/config.h"
+#include "support/table.h"
+#include "tuner/session.h"
+
+namespace tlp::bench {
+
+/** Networks used for dataset collection in the benches. */
+std::vector<std::string> benchTrainNetworks();
+
+/** The paper's five held-out evaluation networks. */
+std::vector<std::string> benchTestNetworks();
+
+/** All bench networks (train + test). */
+std::vector<std::string> benchNetworks();
+
+/**
+ * Collect (and memoize on disk under /tmp) the standard bench dataset
+ * for @p platforms. GPU datasets use the GPU sketch rules.
+ */
+data::Dataset standardDataset(const std::vector<std::string> &platforms,
+                              bool is_gpu);
+
+/** Cap a record-index list to the scaled default training size. */
+std::vector<int> capTrainRecords(std::vector<int> records,
+                                 int64_t base_cap = 5000,
+                                 uint64_t seed = 0xcab);
+
+/** Default TLP training options at bench scale. */
+model::TrainOptions benchTrainOptions();
+
+/**
+ * Train a TLP net on @p platform_indices (multi-task when several) and
+ * return top-1/top-5 on the test split for the first platform index.
+ */
+struct TrainedTlp
+{
+    std::shared_ptr<model::TlpNet> net;
+    data::TopKPair topk;
+};
+
+TrainedTlp trainAndEvalTlp(const data::Dataset &dataset,
+                           const data::Split &split,
+                           const std::vector<int> &platform_indices,
+                           model::TlpNetConfig config,
+                           model::TrainOptions options,
+                           const std::vector<int> *train_records = nullptr);
+
+/** Train + evaluate the TenSet-MLP baseline on one platform. */
+struct TrainedMlp
+{
+    std::shared_ptr<model::TensetMlpNet> net;
+    data::TopKPair topk;
+};
+
+TrainedMlp trainAndEvalMlp(const data::Dataset &dataset,
+                           const data::Split &split, int platform_index,
+                           model::TrainOptions options);
+
+/** Format a top-k pair as "0.9194". */
+std::string fmtScore(double value);
+
+/**
+ * The MTL-TLP recipe of Sec. 6.2: task 1 is the target platform with
+ * only @p target_rows labeled training records (the "500K" subset),
+ * tasks 2..n are donor platforms with all labels. Returns target-platform
+ * top-k. Pass an empty donor list for the single-task reference row.
+ */
+data::TopKPair mtlTopK(const data::Dataset &dataset,
+                       const data::Split &split, int target_platform,
+                       const std::vector<int> &donor_platforms,
+                       int64_t target_rows,
+                       model::TrainOptions options);
+
+/** The four cost models compared in the search experiments (Sec. 6.3). */
+struct SearchModels
+{
+    std::unique_ptr<model::CostModel> ansor;   ///< online GBDT
+    std::unique_ptr<model::CostModel> mlp;     ///< pretrained TenSet MLP
+    std::unique_ptr<model::CostModel> tlp;     ///< pretrained TLP
+    std::unique_ptr<model::CostModel> mtl;     ///< MTL-TLP (scarce target)
+};
+
+/**
+ * Prepare all four models for search on platform 0 of @p dataset (the
+ * second platform, when present, is MTL-TLP's donor).
+ */
+SearchModels prepareSearchModels(const data::Dataset &dataset,
+                                 const data::Split &split);
+
+/** Bench-scale tuning options for a workload with @p num_tasks tasks. */
+tune::TuneOptions benchTuneOptions(int num_tasks);
+
+/** Tune @p network with @p cost_model and return the result. */
+tune::TuneResult tuneNetwork(const std::string &network,
+                             const std::string &platform,
+                             model::CostModel &cost_model);
+
+} // namespace tlp::bench

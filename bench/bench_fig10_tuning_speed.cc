@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Paper Fig. 10 (google-benchmark): per-candidate scoring cost of TLP vs
+ * the TenSet MLP. TLP extracts features straight from the schedule
+ * primitives; the MLP must lower every candidate to a tensor program
+ * first. Paper: TLP makes end-to-end tuning 1.7x (CPU) / 1.8x (GPU)
+ * faster; here we measure the feature+prediction path that produces that
+ * gap.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "features/ansor_features.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "schedule/lower.h"
+#include "sketch/policy.h"
+
+namespace {
+
+using namespace tlp;
+
+struct Fixture
+{
+    std::vector<sched::State> states;
+    std::unique_ptr<model::CostModel> tlp;
+    std::unique_ptr<model::CostModel> mlp;
+
+    Fixture()
+    {
+        const auto workload =
+            ir::partitionGraph(ir::buildNetwork("resnet-50"));
+        Rng rng(0xf16);
+        // A mixed candidate batch as one GA round would score.
+        for (size_t i = 0; i < 4 && i < workload.subgraphs.size(); ++i) {
+            sketch::SchedulePolicy policy(workload.subgraphs[i], false);
+            for (auto &state : policy.sampleInitPopulation(16, rng))
+                states.push_back(std::move(state));
+        }
+        model::TlpNetConfig config;
+        auto net = std::make_shared<model::TlpNet>(config, rng);
+        tlp = std::make_unique<model::TlpCostModel>(net);
+        auto mlp_net =
+            std::make_shared<model::TensetMlpNet>(model::MlpConfig{}, rng);
+        mlp = std::make_unique<model::TensetMlpCostModel>(mlp_net);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture instance;
+    return instance;
+}
+
+void
+BM_TlpScoring(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto scores = f.tlp->scoreStates(0, f.states);
+        benchmark::DoNotOptimize(scores);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(f.states.size()));
+}
+
+void
+BM_TensetMlpScoring(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto scores = f.mlp->scoreStates(0, f.states);
+        benchmark::DoNotOptimize(scores);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(f.states.size()));
+}
+
+void
+BM_TlpFeatureExtractionOnly(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        for (const auto &candidate : f.states) {
+            auto features = feat::extractTlpFeatures(candidate.steps());
+            benchmark::DoNotOptimize(features);
+        }
+    }
+}
+
+void
+BM_AnsorFeatureExtractionWithLowering(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        for (const auto &candidate : f.states) {
+            auto features =
+                feat::extractAnsorFeatures(sched::lower(candidate));
+            benchmark::DoNotOptimize(features);
+        }
+    }
+}
+
+BENCHMARK(BM_TlpScoring)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TensetMlpScoring)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TlpFeatureExtractionOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AnsorFeatureExtractionWithLowering)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

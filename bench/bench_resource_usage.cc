@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Paper Sec. 6.3, "The Impact of TLP on Computing Resources"
+ * (google-benchmark): time of complete genetic-algorithm rounds under
+ * TLP vs the TenSet MLP. Paper: five GA rounds drop from ~20s to ~6s
+ * when the cost model stops needing generated tensor programs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "tuner/evolution.h"
+
+namespace {
+
+using namespace tlp;
+
+struct Fixture
+{
+    ir::SubgraphPtr subgraph;
+    std::unique_ptr<model::CostModel> tlp;
+    std::unique_ptr<model::CostModel> mlp;
+
+    Fixture()
+    {
+        const auto workload =
+            ir::partitionGraph(ir::buildNetwork("resnet-50"));
+        subgraph = workload.subgraphs.at(1);
+        Rng rng(0x6a);
+        auto net = std::make_shared<model::TlpNet>(model::TlpNetConfig{},
+                                                   rng);
+        tlp = std::make_unique<model::TlpCostModel>(net);
+        auto mlp_net =
+            std::make_shared<model::TensetMlpNet>(model::MlpConfig{}, rng);
+        mlp = std::make_unique<model::TensetMlpCostModel>(mlp_net);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture instance;
+    return instance;
+}
+
+void
+runGaRound(model::CostModel &cost_model, benchmark::State &state)
+{
+    auto &f = fixture();
+    sketch::SchedulePolicy policy(f.subgraph, false);
+    tune::EvolutionOptions options;
+    options.population = 64;
+    options.iterations = 5;   // "five rounds of the genetic algorithm"
+    options.children_per_iter = 32;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        auto result = tune::evolveOneRound(policy, cost_model, 0, 10, {},
+                                           options, rng);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+void
+BM_GaRoundsWithTlp(benchmark::State &state)
+{
+    runGaRound(*fixture().tlp, state);
+}
+
+void
+BM_GaRoundsWithTensetMlp(benchmark::State &state)
+{
+    runGaRound(*fixture().mlp, state);
+}
+
+BENCHMARK(BM_GaRoundsWithTlp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GaRoundsWithTensetMlp)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Paper Table 3: top-k scores for {self-attention, LSTM} x {rank, MSE}
+ * on the CPU dataset (Platinum-8272). Paper: attention+rank best
+ * (0.9194 / 0.9710), all four combinations within a few points.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace tlp;
+    std::printf("=== Table 3: loss function & backbone basic module ===\n");
+    const auto dataset =
+        bench::standardDataset({"platinum-8272"}, /*is_gpu=*/false);
+    const auto split = data::makeSplit(dataset, bench::benchTestNetworks());
+
+    struct Row
+    {
+        const char *name;
+        bool lstm;
+        bool rank;
+        double paper_top1, paper_top5;
+    };
+    const Row rows[] = {
+        {"Attention + Rank", false, true, 0.9194, 0.9710},
+        {"Attention + MSE", false, false, 0.9128, 0.9542},
+        {"LSTM + Rank", true, true, 0.9119, 0.9509},
+        {"LSTM + MSE", true, false, 0.9061, 0.9540},
+    };
+
+    TextTable table("Table 3 (CPU dataset, platinum-8272)");
+    table.setHeader({"combination", "top-1 (paper)", "top-1 (ours)",
+                     "top-5 (paper)", "top-5 (ours)"});
+    for (const Row &row : rows) {
+        model::TlpNetConfig config;
+        config.lstm_backbone = row.lstm;
+        auto options = bench::benchTrainOptions();
+        options.use_rank_loss = row.rank;
+        if (!row.rank)
+            options.lr = 8e-4;   // MSE is lr-sensitive at small scale
+        const auto trained =
+            bench::trainAndEvalTlp(dataset, split, {0}, config, options);
+        table.addRow({row.name, bench::fmtScore(row.paper_top1),
+                      bench::fmtScore(trained.topk.top1),
+                      bench::fmtScore(row.paper_top5),
+                      bench::fmtScore(trained.topk.top5)});
+        std::printf("done: %s\n", row.name);
+    }
+    table.print();
+    return 0;
+}

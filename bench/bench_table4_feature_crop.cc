@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Table 4: top-k scores for sequence-length {25, 54} x embedding
+ * size {22, 40} feature crops. Paper: 25x22 is best (0.9194 / 0.9710) —
+ * denser features beat keeping every rarely-used slot.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace tlp;
+    std::printf("=== Table 4: feature-size cropping ===\n");
+    const auto dataset =
+        bench::standardDataset({"platinum-8272"}, /*is_gpu=*/false);
+    const auto split = data::makeSplit(dataset, bench::benchTestNetworks());
+
+    struct Row
+    {
+        int seq_len, emb_size;
+        double paper_top1, paper_top5;
+    };
+    const Row rows[] = {
+        {25, 22, 0.9194, 0.9710},
+        {25, 40, 0.9171, 0.9558},
+        {54, 22, 0.9032, 0.9472},
+        {54, 40, 0.9076, 0.9677},
+    };
+
+    TextTable table("Table 4 (CPU dataset, platinum-8272)");
+    table.setHeader({"crop", "top-1 (paper)", "top-1 (ours)",
+                     "top-5 (paper)", "top-5 (ours)"});
+    for (const Row &row : rows) {
+        model::TlpNetConfig config;
+        config.seq_len = row.seq_len;
+        config.emb_size = row.emb_size;
+        const auto trained = bench::trainAndEvalTlp(
+            dataset, split, {0}, config, bench::benchTrainOptions());
+        const std::string name = "seq " + std::to_string(row.seq_len) +
+                                 " + emb " +
+                                 std::to_string(row.emb_size);
+        table.addRow({name, bench::fmtScore(row.paper_top1),
+                      bench::fmtScore(trained.topk.top1),
+                      bench::fmtScore(row.paper_top5),
+                      bench::fmtScore(trained.topk.top5)});
+        std::printf("done: %s\n", name.c_str());
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paper Table 5: TLP vs TenSet MLP top-k scores on all seven platforms
+ * (5 CPUs + 2 GPUs). Paper shape: TLP beats the MLP clearly on every
+ * CPU; on GPUs the two trade blows.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace tlp;
+    std::printf("=== Table 5: TLP vs TenSet MLP on all platforms ===\n");
+
+    struct Row
+    {
+        const char *platform;
+        bool gpu;
+        double paper_mlp1, paper_mlp5, paper_tlp1, paper_tlp5;
+    };
+    const Row rows[] = {
+        {"platinum-8272", false, 0.8748, 0.9527, 0.9194, 0.9710},
+        {"e5-2673", false, 0.8332, 0.8977, 0.8941, 0.9633},
+        {"epyc-7452", false, 0.8510, 0.9175, 0.9055, 0.9494},
+        {"graviton2", false, 0.7799, 0.9049, 0.8207, 0.9226},
+        {"i7-10510u", false, 0.7776, 0.8590, 0.8473, 0.9427},
+        {"tesla-k80", true, 0.9083, 0.9629, 0.9059, 0.9741},
+        {"tesla-t4", true, 0.8757, 0.9528, 0.8847, 0.9250},
+    };
+
+    TextTable table("Table 5: top-1 / top-5 (TenSet-MLP vs TLP)");
+    table.setHeader({"platform", "mlp top-1 (paper/ours)",
+                     "mlp top-5 (paper/ours)", "tlp top-1 (paper/ours)",
+                     "tlp top-5 (paper/ours)"});
+    for (const Row &row : rows) {
+        const auto dataset = bench::standardDataset({row.platform},
+                                                    row.gpu);
+        const auto split =
+            data::makeSplit(dataset, bench::benchTestNetworks());
+        const auto mlp = bench::trainAndEvalMlp(dataset, split, 0,
+                                                bench::benchTrainOptions());
+        const auto tlp = bench::trainAndEvalTlp(
+            dataset, split, {0}, model::TlpNetConfig{},
+            bench::benchTrainOptions());
+        table.addRow({row.platform,
+                      bench::fmtScore(row.paper_mlp1) + " / " +
+                          bench::fmtScore(mlp.topk.top1),
+                      bench::fmtScore(row.paper_mlp5) + " / " +
+                          bench::fmtScore(mlp.topk.top5),
+                      bench::fmtScore(row.paper_tlp1) + " / " +
+                          bench::fmtScore(tlp.topk.top1),
+                      bench::fmtScore(row.paper_tlp5) + " / " +
+                          bench::fmtScore(tlp.topk.top5)});
+        std::printf("done: %s\n", row.platform);
+    }
+    table.print();
+    return 0;
+}

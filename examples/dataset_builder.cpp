@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Build and save a TenSet-style dataset, then print its statistics —
+ * the data-engineering side of the paper (Sec. 2, Fig. 6, Table 1).
+ *
+ * Usage: dataset_builder [--out /tmp/tlp_dataset.bin]
+ *                        [--programs 64] [--gpu]
+ */
+#include <cstdio>
+
+#include "dataset/collect.h"
+#include "hwmodel/platform.h"
+#include "ir/model_zoo.h"
+#include "support/argparse.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace tlp;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("collect a tensor-program dataset");
+    args.addString("out", "/tmp/tlp_dataset.bin", "output path");
+    args.addInt("programs", 64, "programs per subgraph");
+    args.addBool("gpu", false, "GPU schedules and platforms");
+    args.parse(argc, argv);
+
+    data::CollectOptions options;
+    options.networks = ir::allNetworkNames();
+    options.platforms = args.getBool("gpu")
+                            ? hw::HardwarePlatform::gpuPresetNames()
+                            : hw::HardwarePlatform::cpuPresetNames();
+    options.is_gpu = args.getBool("gpu");
+    options.programs_per_subgraph =
+        static_cast<int>(args.getInt("programs"));
+
+    std::printf("collecting %zu networks x %zu platforms...\n",
+                options.networks.size(), options.platforms.size());
+    const auto dataset = data::collectDataset(options);
+    dataset.save(args.getString("out"));
+    std::printf("saved %zu records over %zu subgraph groups to %s\n\n",
+                dataset.records.size(), dataset.groups.size(),
+                args.getString("out").c_str());
+
+    // Fig. 6: sequence-length distribution.
+    IntHistogram histogram;
+    for (const auto &record : dataset.records)
+        histogram.add(record.seq.size());
+    std::printf("sequence lengths: %lld..%lld, mode %lld\n",
+                static_cast<long long>(histogram.minKey()),
+                static_cast<long long>(histogram.maxKey()),
+                static_cast<long long>(histogram.modeKey()));
+
+    // Table 1: max embedding sizes.
+    TextTable table("max embedding size per primitive kind");
+    table.setHeader({"primitive", "size"});
+    for (const auto &[kind, size] : dataset.maxEmbeddingSizes())
+        table.addRow({kind, std::to_string(size)});
+    table.print();
+
+    std::printf("repetition rate: %.4f%% (paper: ~1%%)\n",
+                100.0 * dataset.repetitionRate());
+    return 0;
+}

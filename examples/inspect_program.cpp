@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces the view of paper Figs. 2 and 5: one computational
+ * subgraph, a schedule primitive sequence applied to it, the generated
+ * tensor program (pseudo code), and the TLP feature extraction of that
+ * sequence — side by side.
+ *
+ * Usage: inspect_program [--network resnet-50] [--index 1] [--gpu]
+ */
+#include <cstdio>
+
+#include "features/tlp_features.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "schedule/lower.h"
+#include "sketch/policy.h"
+#include "support/argparse.h"
+
+using namespace tlp;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("inspect one scheduled tensor program");
+    args.addString("network", "resnet-50", "model-zoo network name");
+    args.addInt("index", 1, "subgraph index within the network");
+    args.addBool("gpu", false, "use GPU sketch rules");
+    args.addInt("seed", 1, "schedule sampling seed");
+    args.parse(argc, argv);
+
+    const ir::Workload workload =
+        ir::partitionGraph(ir::buildNetwork(args.getString("network")));
+    const size_t index = static_cast<size_t>(args.getInt("index")) %
+                         workload.subgraphs.size();
+    const ir::SubgraphPtr subgraph = workload.subgraphs[index];
+
+    std::printf("=== computational subgraph (Fig. 2, left) ===\n%s\n",
+                subgraph->toString().c_str());
+
+    Rng rng(static_cast<uint64_t>(args.getInt("seed")));
+    sketch::SchedulePolicy policy(subgraph, args.getBool("gpu"));
+    const sched::State state = policy.sampleRandom(rng);
+
+    std::printf("=== schedule primitives (Fig. 2, red box — TLP's "
+                "feature object) ===\n%s\n",
+                state.steps().toString().c_str());
+
+    std::printf("=== generated tensor program (Fig. 2, blue box — what "
+                "Ansor/TIRAMISU featurize) ===\n%s\n",
+                sched::lower(state).prettyPrint().c_str());
+
+    std::printf("=== TLP extracted features (Fig. 5): first 4 rows ===\n");
+    feat::TlpFeatureOptions options;
+    const auto features = feat::extractTlpFeatures(state.steps(), options);
+    for (int r = 0; r < 4 && r < options.seq_len; ++r) {
+        std::printf("prim %d: ", r);
+        for (int c = 0; c < options.emb_size; ++c)
+            std::printf("%5.2f ",
+                        features[static_cast<size_t>(r * options.emb_size +
+                                                     c)]);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end auto-tuning of a network on a simulated platform, with a
+ * selectable cost model — the Sec. 6.3 experience at example scale.
+ *
+ * Usage: tune_workload [--network resnet-18] [--platform i7-10510u]
+ *                      [--model ansor|random|tlp] [--rounds 20]
+ *
+ * The "tlp" model is pretrained on a freshly collected mini dataset
+ * before tuning starts (a minute or so); "ansor" trains online.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "dataset/collect.h"
+#include "dataset/splits.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "models/cost_model.h"
+#include "support/argparse.h"
+#include "tuner/session.h"
+
+using namespace tlp;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("auto-tune a network with a chosen cost model");
+    args.addString("network", "resnet-18", "model-zoo network");
+    args.addString("platform", "i7-10510u", "hardware preset");
+    args.addString("model", "ansor", "cost model: ansor|random|tlp");
+    args.addInt("rounds", 20, "tuning rounds");
+    args.addInt("seed", 1, "search seed");
+    args.parse(argc, argv);
+
+    const auto platform =
+        hw::HardwarePlatform::preset(args.getString("platform"));
+    const ir::Workload workload =
+        ir::partitionGraph(ir::buildNetwork(args.getString("network")));
+    std::printf("tuning %s on %s: %zu tasks\n",
+                args.getString("network").c_str(), platform.name.c_str(),
+                workload.subgraphs.size());
+
+    std::unique_ptr<model::CostModel> cost_model;
+    const std::string which = args.getString("model");
+    if (which == "ansor") {
+        cost_model = std::make_unique<model::AnsorOnlineCostModel>();
+    } else if (which == "random") {
+        cost_model = std::make_unique<model::RandomCostModel>();
+    } else if (which == "tlp") {
+        std::printf("pretraining TLP on a mini offline dataset...\n");
+        data::CollectOptions collect;
+        collect.networks = {"resnet-34", "vgg-16", "bert-small"};
+        collect.platforms = {platform.name};
+        collect.is_gpu = platform.is_gpu;
+        collect.programs_per_subgraph = 64;
+        const auto dataset = data::collectDataset(collect);
+        std::vector<int> all_records;
+        for (size_t r = 0; r < dataset.records.size(); ++r)
+            all_records.push_back(static_cast<int>(r));
+        auto set = data::buildTlpSet(dataset, all_records, {0});
+        Rng rng(7);
+        auto net =
+            std::make_shared<model::TlpNet>(model::TlpNetConfig{}, rng);
+        model::TrainOptions options;
+        options.epochs = 4;
+        options.verbose = true;
+        trainTlpNet(*net, set, options);
+        cost_model = std::make_unique<model::TlpCostModel>(net);
+    } else {
+        TLP_FATAL("unknown --model: ", which);
+    }
+
+    tune::TuneOptions options;
+    // Every task needs at least one round before the workload latency
+    // (sum over tasks) becomes finite.
+    options.rounds =
+        std::max(static_cast<int>(args.getInt("rounds")),
+                 static_cast<int>(workload.subgraphs.size()));
+    options.seed = static_cast<uint64_t>(args.getInt("seed"));
+    options.verbose = true;
+    const auto result =
+        tune::tuneWorkload(workload, platform, *cost_model, options);
+
+    std::printf("\nbest workload latency: %.4f ms after %lld "
+                "measurements\n",
+                result.best_workload_latency_ms,
+                static_cast<long long>(result.total_measurements));
+    std::printf("search time: %.1f s simulated measurement + %.2f s "
+                "model/features\n",
+                result.measure_seconds, result.model_seconds);
+    return 0;
+}

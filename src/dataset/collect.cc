@@ -1,0 +1,80 @@
+#include "dataset/collect.h"
+
+#include <map>
+
+#include "hwmodel/measurer.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "schedule/lower.h"
+#include "sketch/policy.h"
+#include "support/logging.h"
+
+namespace tlp::data {
+
+Dataset
+collectDataset(const CollectOptions &options)
+{
+    TLP_CHECK(!options.networks.empty(), "no networks to collect");
+    TLP_CHECK(!options.platforms.empty(), "no platforms to collect");
+
+    Dataset dataset;
+    dataset.platforms = options.platforms;
+    dataset.is_gpu = options.is_gpu;
+
+    std::vector<hw::Measurer> measurers;
+    for (const auto &platform : options.platforms) {
+        hw::MeasureOptions measure_options;
+        measure_options.noise_std = options.measure_noise;
+        measurers.emplace_back(hw::HardwarePlatform::preset(platform),
+                               measure_options, options.seed);
+    }
+
+    Rng rng(options.seed);
+    std::map<std::string, int> group_of_key;
+
+    for (const auto &network : options.networks) {
+        const ir::Workload workload =
+            ir::partitionGraph(ir::buildNetwork(network));
+        auto &network_entry = dataset.network_groups[network];
+
+        for (size_t s = 0; s < workload.subgraphs.size(); ++s) {
+            const auto &subgraph = workload.subgraphs[s];
+            int group_index;
+            auto it = group_of_key.find(subgraph->key());
+            if (it != group_of_key.end()) {
+                group_index = it->second;
+            } else {
+                group_index = static_cast<int>(dataset.groups.size());
+                group_of_key[subgraph->key()] = group_index;
+                SubgraphGroup group;
+                group.subgraph = subgraph;
+                group.key = subgraph->key();
+                dataset.groups.push_back(std::move(group));
+
+                // Sample and label programs for the new group.
+                sketch::SchedulePolicy policy(subgraph, options.is_gpu);
+                auto population = policy.sampleInitPopulation(
+                    options.programs_per_subgraph, rng);
+                for (const auto &state : population) {
+                    ProgramRecord record;
+                    record.group = static_cast<uint32_t>(group_index);
+                    record.seq = state.steps();
+                    const auto nest = sched::lower(state);
+                    record.latency_ms.reserve(measurers.size());
+                    for (auto &measurer : measurers) {
+                        record.latency_ms.push_back(
+                            static_cast<float>(measurer.measureMs(nest)));
+                    }
+                    dataset.records.push_back(std::move(record));
+                }
+            }
+            network_entry.push_back(
+                {group_index, workload.weights[s]});
+        }
+    }
+
+    dataset.refreshMinLatencies();
+    return dataset;
+}
+
+} // namespace tlp::data

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Dataset collection: networks + platforms -> labeled program records.
+ *
+ * Plays the role of TenSet's 50-day measurement campaign: for every
+ * deduplicated subgraph of the requested networks, sample random
+ * schedules with the sketch policy and label them on every requested
+ * platform with the measurement harness (simulator + noise).
+ */
+#pragma once
+
+#include "dataset/dataset.h"
+
+namespace tlp::data {
+
+/** Collection parameters. */
+struct CollectOptions
+{
+    std::vector<std::string> networks;    ///< model-zoo names
+    std::vector<std::string> platforms;   ///< hardware preset names
+    bool is_gpu = false;                  ///< GPU sketch rules
+    int programs_per_subgraph = 128;
+    uint64_t seed = 0xda7a;
+    double measure_noise = 0.02;
+};
+
+/** Collect a dataset according to @p options. */
+Dataset collectDataset(const CollectOptions &options);
+
+} // namespace tlp::data

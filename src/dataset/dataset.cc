@@ -1,0 +1,187 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "features/tlp_features.h"
+#include "support/logging.h"
+
+namespace tlp::data {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544c5044;   // "TLPD"
+constexpr uint32_t kVersion = 1;
+
+} // namespace
+
+int
+Dataset::platformIndex(const std::string &platform) const
+{
+    for (size_t i = 0; i < platforms.size(); ++i)
+        if (platforms[i] == platform)
+            return static_cast<int>(i);
+    TLP_FATAL("platform not in dataset: ", platform);
+}
+
+std::vector<int>
+Dataset::recordsOfGroup(int group) const
+{
+    std::vector<int> indices;
+    for (size_t r = 0; r < records.size(); ++r)
+        if (records[r].group == static_cast<uint32_t>(group))
+            indices.push_back(static_cast<int>(r));
+    return indices;
+}
+
+void
+Dataset::refreshMinLatencies()
+{
+    for (auto &group : groups)
+        group.min_latency_ms.assign(platforms.size(),
+                                    std::numeric_limits<float>::quiet_NaN());
+    for (const auto &record : records) {
+        auto &mins = groups.at(record.group).min_latency_ms;
+        for (size_t p = 0; p < platforms.size(); ++p) {
+            if (!record.hasLabel(p))
+                continue;
+            if (std::isnan(mins[p]) || record.latency_ms[p] < mins[p])
+                mins[p] = record.latency_ms[p];
+        }
+    }
+}
+
+float
+Dataset::label(int record, int platform) const
+{
+    const ProgramRecord &rec = records.at(static_cast<size_t>(record));
+    if (!rec.hasLabel(static_cast<size_t>(platform)))
+        return std::numeric_limits<float>::quiet_NaN();
+    const float min_lat =
+        groups.at(rec.group).min_latency_ms.at(
+            static_cast<size_t>(platform));
+    return min_lat / rec.latency_ms[static_cast<size_t>(platform)];
+}
+
+void
+Dataset::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        TLP_FATAL("cannot open for write: ", path);
+    BinaryWriter writer(os);
+    writeHeader(writer, kMagic, kVersion);
+    writer.writePod<uint8_t>(is_gpu ? 1 : 0);
+    writer.writePod<uint32_t>(static_cast<uint32_t>(platforms.size()));
+    for (const auto &platform : platforms)
+        writer.writeString(platform);
+    writer.writePod<uint32_t>(static_cast<uint32_t>(groups.size()));
+    for (const auto &group : groups) {
+        group.subgraph->serialize(writer);
+        writer.writeString(group.key);
+        writer.writeVector(group.min_latency_ms);
+    }
+    writer.writePod<uint64_t>(records.size());
+    for (const auto &record : records) {
+        writer.writePod(record.group);
+        record.seq.serialize(writer);
+        writer.writeVector(record.latency_ms);
+    }
+    writer.writePod<uint32_t>(static_cast<uint32_t>(network_groups.size()));
+    for (const auto &[network, groups_of] : network_groups) {
+        writer.writeString(network);
+        writer.writePod<uint32_t>(static_cast<uint32_t>(groups_of.size()));
+        for (const auto &[group, weight] : groups_of) {
+            writer.writePod<int32_t>(group);
+            writer.writePod<int32_t>(weight);
+        }
+    }
+    TLP_CHECK(writer.good(), "write failed: ", path);
+}
+
+Dataset
+Dataset::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        TLP_FATAL("cannot open for read: ", path);
+    BinaryReader reader(is);
+    readHeader(reader, kMagic, kVersion);
+
+    Dataset dataset;
+    dataset.is_gpu = reader.readPod<uint8_t>() != 0;
+    const auto num_platforms = reader.readPod<uint32_t>();
+    for (uint32_t i = 0; i < num_platforms; ++i)
+        dataset.platforms.push_back(reader.readString());
+    const auto num_groups = reader.readPod<uint32_t>();
+    for (uint32_t i = 0; i < num_groups; ++i) {
+        SubgraphGroup group;
+        group.subgraph = std::make_shared<ir::Subgraph>(
+            ir::Subgraph::deserialize(reader));
+        group.key = reader.readString();
+        group.min_latency_ms = reader.readVector<float>();
+        dataset.groups.push_back(std::move(group));
+    }
+    const auto num_records = reader.readPod<uint64_t>();
+    dataset.records.reserve(num_records);
+    for (uint64_t i = 0; i < num_records; ++i) {
+        ProgramRecord record;
+        record.group = reader.readPod<uint32_t>();
+        record.seq = sched::PrimitiveSeq::deserialize(reader);
+        record.latency_ms = reader.readVector<float>();
+        dataset.records.push_back(std::move(record));
+    }
+    const auto num_networks = reader.readPod<uint32_t>();
+    for (uint32_t i = 0; i < num_networks; ++i) {
+        const std::string network = reader.readString();
+        const auto count = reader.readPod<uint32_t>();
+        auto &entries = dataset.network_groups[network];
+        for (uint32_t j = 0; j < count; ++j) {
+            const auto group = reader.readPod<int32_t>();
+            const auto weight = reader.readPod<int32_t>();
+            entries.push_back({group, weight});
+        }
+    }
+    return dataset;
+}
+
+std::map<int, int64_t>
+Dataset::seqLenHistogram() const
+{
+    std::map<int, int64_t> histogram;
+    for (const auto &record : records)
+        histogram[record.seq.size()] += 1;
+    return histogram;
+}
+
+std::map<std::string, int>
+Dataset::maxEmbeddingSizes() const
+{
+    std::map<std::string, int> sizes;
+    for (const auto &record : records) {
+        for (const auto &prim : record.seq.prims) {
+            const std::string name = sched::primKindName(prim.kind);
+            const int width = sched::kNumPrimKinds + prim.numParams();
+            auto it = sizes.find(name);
+            if (it == sizes.end() || it->second < width)
+                sizes[name] = width;
+        }
+    }
+    return sizes;
+}
+
+double
+Dataset::repetitionRate() const
+{
+    if (records.empty())
+        return 0.0;
+    std::set<uint64_t> distinct;
+    for (const auto &record : records)
+        distinct.insert(record.seq.hash());
+    const double repeats = static_cast<double>(records.size()) -
+                           static_cast<double>(distinct.size());
+    return repeats / static_cast<double>(records.size());
+}
+
+} // namespace tlp::data

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The tensor-program dataset (our TenSet stand-in).
+ *
+ * A Dataset holds deduplicated subgraph groups, the networks that use
+ * them (with occurrence weights), and program records: (group, schedule
+ * primitive sequence, per-platform latency labels). Labels are aligned
+ * with the dataset's platform list; NaN marks a missing label, which is
+ * how MTL-TLP's partially labeled tuples (Sec. 5.2) are represented.
+ */
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/subgraph.h"
+#include "schedule/primitive.h"
+#include "support/serialize.h"
+
+namespace tlp::data {
+
+/** One tensor program and its labels. */
+struct ProgramRecord
+{
+    uint32_t group = 0;               ///< index into Dataset::groups
+    sched::PrimitiveSeq seq;
+    /** latency_ms[i] on Dataset::platforms[i]; NaN = not measured. */
+    std::vector<float> latency_ms;
+
+    bool hasLabel(size_t platform) const
+    {
+        return platform < latency_ms.size() &&
+               !std::isnan(latency_ms[platform]);
+    }
+};
+
+/** A deduplicated subgraph with per-platform minimum latencies. */
+struct SubgraphGroup
+{
+    ir::SubgraphPtr subgraph;
+    std::string key;
+    /** min over records per platform (the label normalizer). */
+    std::vector<float> min_latency_ms;
+};
+
+/** The dataset proper. */
+class Dataset
+{
+  public:
+    /** Hardware platform names, defining the label axes. */
+    std::vector<std::string> platforms;
+    /** True when schedules were generated with the GPU sketch rules. */
+    bool is_gpu = false;
+
+    std::vector<SubgraphGroup> groups;
+    std::vector<ProgramRecord> records;
+    /** network name -> (group index, occurrence weight). */
+    std::map<std::string, std::vector<std::pair<int, int>>> network_groups;
+
+    /** Index of @p platform; fatal when absent. */
+    int platformIndex(const std::string &platform) const;
+
+    /** Indices of records belonging to @p group. */
+    std::vector<int> recordsOfGroup(int group) const;
+
+    /** Recompute per-group minimum latencies from the records. */
+    void refreshMinLatencies();
+
+    /**
+     * Normalized label of record @p r on platform @p p:
+     * min_latency / latency in (0, 1]; NaN when unlabeled.
+     */
+    float label(int record, int platform) const;
+
+    void save(const std::string &path) const;
+    static Dataset load(const std::string &path);
+
+    // --- statistics (paper Fig. 6, Table 1, Sec. 4.3) ---
+
+    /** Histogram of primitive-sequence lengths. */
+    std::map<int, int64_t> seqLenHistogram() const;
+
+    /** Max embedding size per primitive kind (paper Table 1). */
+    std::map<std::string, int> maxEmbeddingSizes() const;
+
+    /** Fraction of records whose sequence duplicates another (Sec 4.3). */
+    double repetitionRate() const;
+};
+
+} // namespace tlp::data

@@ -1,0 +1,101 @@
+#include "dataset/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace tlp::data {
+
+namespace {
+
+/** Best (lowest) latency among the top-k scored records of a group. */
+double
+bestOfTopK(const Dataset &dataset,
+           const std::vector<std::pair<double, int>> &scored, int platform,
+           int k)
+{
+    double best = std::numeric_limits<double>::infinity();
+    const int count = std::min<int>(k, static_cast<int>(scored.size()));
+    for (int i = 0; i < count; ++i) {
+        const auto &record = dataset.records.at(
+            static_cast<size_t>(scored[static_cast<size_t>(i)].second));
+        if (record.hasLabel(static_cast<size_t>(platform))) {
+            best = std::min(best,
+                            static_cast<double>(
+                                record.latency_ms[static_cast<size_t>(
+                                    platform)]));
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+double
+topKScore(const Dataset &dataset,
+          const std::vector<std::string> &test_networks, int platform,
+          const std::vector<int> &test_records,
+          const std::vector<double> &scores, int k)
+{
+    TLP_CHECK(test_records.size() == scores.size(),
+              "scores/records size mismatch");
+
+    // Group -> (score, record) sorted descending by score.
+    std::map<int, std::vector<std::pair<double, int>>> by_group;
+    for (size_t i = 0; i < test_records.size(); ++i) {
+        const int record = test_records[i];
+        const int group =
+            static_cast<int>(dataset.records.at(
+                static_cast<size_t>(record)).group);
+        by_group[group].push_back({scores[i], record});
+    }
+    for (auto &[group, scored] : by_group)
+        std::sort(scored.begin(), scored.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (const auto &network : test_networks) {
+        auto it = dataset.network_groups.find(network);
+        if (it == dataset.network_groups.end())
+            continue;
+        for (const auto &[group, weight] : it->second) {
+            auto scored_it = by_group.find(group);
+            if (scored_it == by_group.end())
+                continue;
+            const float min_lat =
+                dataset.groups.at(static_cast<size_t>(group))
+                    .min_latency_ms.at(static_cast<size_t>(platform));
+            if (std::isnan(min_lat))
+                continue;
+            const double chosen =
+                bestOfTopK(dataset, scored_it->second, platform, k);
+            if (!std::isfinite(chosen))
+                continue;
+            numerator += static_cast<double>(min_lat) * weight;
+            denominator += chosen * weight;
+        }
+    }
+    if (denominator <= 0.0)
+        return 0.0;
+    return numerator / denominator;
+}
+
+TopKPair
+topKScores(const Dataset &dataset,
+           const std::vector<std::string> &test_networks, int platform,
+           const std::vector<int> &test_records,
+           const std::vector<double> &scores)
+{
+    TopKPair pair;
+    pair.top1 = topKScore(dataset, test_networks, platform, test_records,
+                          scores, 1);
+    pair.top5 = topKScore(dataset, test_networks, platform, test_records,
+                          scores, 5);
+    return pair;
+}
+
+} // namespace tlp::data

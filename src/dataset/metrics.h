@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dataset-based evaluation metrics (paper Sec. 6.1).
+ *
+ * The top-k score of a cost model on a platform:
+ *
+ *   top-k = sum_m sum_s min_latency(m,s) * weight(m,s)
+ *         / sum_m sum_s min_i<=k latency(m,s,i) * weight(m,s)
+ *
+ * where latency(m,s,i) is the latency of the candidate ranked i-th by
+ * the model among subgraph s's programs. 1.0 means the model's top-k
+ * always contains the true best program.
+ */
+#pragma once
+
+#include "dataset/dataset.h"
+
+namespace tlp::data {
+
+/**
+ * Top-k score over @p test_networks on @p platform.
+ *
+ * @param test_records record indices the scores refer to
+ * @param scores       model scores aligned with @p test_records
+ *                     (higher = predicted faster)
+ */
+double topKScore(const Dataset &dataset,
+                 const std::vector<std::string> &test_networks,
+                 int platform, const std::vector<int> &test_records,
+                 const std::vector<double> &scores, int k);
+
+/** Convenience: top-1 and top-5 in one pass. */
+struct TopKPair
+{
+    double top1 = 0.0;
+    double top5 = 0.0;
+};
+
+TopKPair topKScores(const Dataset &dataset,
+                    const std::vector<std::string> &test_networks,
+                    int platform, const std::vector<int> &test_records,
+                    const std::vector<double> &scores);
+
+} // namespace tlp::data

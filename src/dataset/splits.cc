@@ -1,0 +1,106 @@
+#include "dataset/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "features/ansor_features.h"
+#include "schedule/lower.h"
+#include "schedule/state.h"
+#include "support/rng.h"
+
+namespace tlp::data {
+
+Split
+makeSplit(const Dataset &dataset,
+          const std::vector<std::string> &test_networks,
+          double valid_fraction, uint64_t seed)
+{
+    std::set<int> test_groups;
+    for (const auto &network : test_networks) {
+        auto it = dataset.network_groups.find(network);
+        if (it == dataset.network_groups.end())
+            continue;
+        for (const auto &[group, weight] : it->second)
+            test_groups.insert(group);
+    }
+
+    Split split;
+    split.test_groups.assign(test_groups.begin(), test_groups.end());
+
+    std::vector<int> pool;
+    for (size_t r = 0; r < dataset.records.size(); ++r) {
+        const int group = static_cast<int>(dataset.records[r].group);
+        if (test_groups.count(group)) {
+            split.test_records.push_back(static_cast<int>(r));
+        } else {
+            pool.push_back(static_cast<int>(r));
+        }
+    }
+
+    Rng rng(seed);
+    rng.shuffle(pool);
+    const size_t valid_count = static_cast<size_t>(
+        static_cast<double>(pool.size()) * valid_fraction);
+    split.valid_records.assign(pool.begin(),
+                               pool.begin() +
+                                   static_cast<long>(valid_count));
+    split.train_records.assign(pool.begin() +
+                                   static_cast<long>(valid_count),
+                               pool.end());
+    return split;
+}
+
+LabeledSet
+buildTlpSet(const Dataset &dataset, const std::vector<int> &records,
+            const std::vector<int> &platforms,
+            const feat::TlpFeatureOptions &options)
+{
+    LabeledSet set;
+    set.rows = static_cast<int>(records.size());
+    set.feature_dim = options.seq_len * options.emb_size;
+    set.num_tasks = static_cast<int>(platforms.size());
+    set.features.reserve(static_cast<size_t>(set.rows) *
+                         static_cast<size_t>(set.feature_dim));
+    set.labels.reserve(static_cast<size_t>(set.rows) *
+                       platforms.size());
+    set.groups.reserve(records.size());
+
+    for (int r : records) {
+        const auto &record = dataset.records.at(static_cast<size_t>(r));
+        const auto features = feat::extractTlpFeatures(record.seq, options);
+        set.features.insert(set.features.end(), features.begin(),
+                            features.end());
+        for (int p : platforms)
+            set.labels.push_back(dataset.label(r, p));
+        set.groups.push_back(static_cast<int>(record.group));
+    }
+    return set;
+}
+
+LabeledSet
+buildAnsorSet(const Dataset &dataset, const std::vector<int> &records,
+              int platform)
+{
+    LabeledSet set;
+    set.rows = static_cast<int>(records.size());
+    set.feature_dim = feat::kAnsorFeatureSize;
+    set.num_tasks = 1;
+    set.features.reserve(static_cast<size_t>(set.rows) *
+                         feat::kAnsorFeatureSize);
+
+    for (int r : records) {
+        const auto &record = dataset.records.at(static_cast<size_t>(r));
+        const auto &group = dataset.groups.at(record.group);
+        const sched::State state = sched::replaySteps(
+            group.subgraph, dataset.is_gpu, record.seq);
+        const auto features =
+            feat::extractAnsorFeatures(sched::lower(state));
+        set.features.insert(set.features.end(), features.begin(),
+                            features.end());
+        set.labels.push_back(dataset.label(r, platform));
+        set.groups.push_back(static_cast<int>(record.group));
+    }
+    return set;
+}
+
+} // namespace tlp::data

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Train/valid/test splits and feature-matrix assembly.
+ *
+ * Following the paper (Sec. 6.1): the five evaluation networks form the
+ * test set; the remaining records are split 9:1 into train and valid.
+ * Subgraphs shared between train and test networks are excluded from
+ * training so the held-out networks are genuinely unseen.
+ */
+#pragma once
+
+#include "dataset/dataset.h"
+#include "features/tlp_features.h"
+
+namespace tlp::data {
+
+/** Record-index split. */
+struct Split
+{
+    std::vector<int> train_records;
+    std::vector<int> valid_records;
+    std::vector<int> test_records;
+    std::vector<int> test_groups;
+};
+
+/** Build the paper-style split. */
+Split makeSplit(const Dataset &dataset,
+                const std::vector<std::string> &test_networks,
+                double valid_fraction = 0.1, uint64_t seed = 0x5117);
+
+/** A dense feature/label matrix ready for training. */
+struct LabeledSet
+{
+    int rows = 0;
+    int feature_dim = 0;
+    int num_tasks = 1;
+    std::vector<float> features;   ///< rows x feature_dim
+    std::vector<float> labels;     ///< rows x num_tasks; NaN = missing
+    std::vector<int> groups;       ///< group id per row (for rank loss)
+
+    const float *row(int r) const
+    {
+        return features.data() +
+               static_cast<size_t>(r) * static_cast<size_t>(feature_dim);
+    }
+};
+
+/**
+ * Assemble TLP features + labels for @p records.
+ * @p platforms selects the label tasks (one column per platform index).
+ */
+LabeledSet buildTlpSet(const Dataset &dataset,
+                       const std::vector<int> &records,
+                       const std::vector<int> &platforms,
+                       const feat::TlpFeatureOptions &options = {});
+
+/**
+ * Assemble Ansor-style features + labels (single platform). Requires
+ * replaying and lowering every record — the cost TLP avoids.
+ */
+LabeledSet buildAnsorSet(const Dataset &dataset,
+                         const std::vector<int> &records, int platform);
+
+} // namespace tlp::data

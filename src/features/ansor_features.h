@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ansor-style per-statement features (the baseline representation).
+ *
+ * Mirrors Ansor's hand-engineered feature extraction (~164 features per
+ * innermost statement drawn from computation, memory access, arithmetic
+ * intensity, annotation, and allocation groups): each compute stage of
+ * the *lowered* program is summarized into a fixed vector, and the
+ * per-stage vectors of the heaviest stages are concatenated into one
+ * program-level vector. The TenSet MLP and the Ansor-online GBDT consume
+ * these features.
+ *
+ * Two properties matter for the reproduction:
+ *   1. Extraction REQUIRES the lowered program, so baselines pay the
+ *      lowering cost TLP avoids (paper Fig. 10).
+ *   2. The summary is lossy — loop structure beyond the recorded scalar
+ *      statistics is invisible — so a perfect fit is impossible, unlike
+ *      TLP's (near-)lossless primitive-sequence view.
+ */
+#pragma once
+
+#include <vector>
+
+#include "schedule/lower.h"
+
+namespace tlp::feat {
+
+/** Number of features per summarized stage. */
+inline constexpr int kAnsorStageFeatures = 40;
+
+/** Number of stages concatenated (heaviest first). */
+inline constexpr int kAnsorStages = 4;
+
+/** Program-level global features appended at the end. */
+inline constexpr int kAnsorGlobalFeatures = 4;
+
+/** Total Ansor feature vector width (= 164, as in the paper). */
+inline constexpr int kAnsorFeatureSize =
+    kAnsorStageFeatures * kAnsorStages + kAnsorGlobalFeatures;
+
+/** Extract the fixed-width Ansor-style feature vector of @p nest. */
+std::vector<float> extractAnsorFeatures(const sched::LoweredNest &nest);
+
+} // namespace tlp::feat

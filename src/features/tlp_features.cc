@@ -1,0 +1,94 @@
+#include "features/tlp_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace tlp::feat {
+
+using sched::kNumPrimKinds;
+using sched::Param;
+using sched::Primitive;
+using sched::PrimitiveSeq;
+
+namespace {
+
+/** Signed log compression keeps magnitudes NN-friendly. */
+float
+encodeNumber(int64_t value)
+{
+    const double magnitude = std::log1p(std::abs(static_cast<double>(value)));
+    return static_cast<float>(value < 0 ? -magnitude : magnitude);
+}
+
+} // namespace
+
+int
+nameToken(const std::string &name)
+{
+    // Stable hash bucketing: distinct names map to (almost always)
+    // distinct small token ids; identical names always collide.
+    return 1 + static_cast<int>(fnv1a(name.data(), name.size()) % 61);
+}
+
+std::vector<float>
+primitiveEmbedding(const Primitive &prim)
+{
+    std::vector<float> emb(static_cast<size_t>(kNumPrimKinds), 0.0f);
+    emb[static_cast<size_t>(prim.kind)] = 1.0f;
+    for (const Param &param : prim.params) {
+        if (std::holds_alternative<int64_t>(param)) {
+            emb.push_back(encodeNumber(std::get<int64_t>(param)));
+        } else {
+            const auto &name = std::get<std::string>(param);
+            emb.push_back(static_cast<float>(nameToken(name)) / 8.0f);
+        }
+    }
+    return emb;
+}
+
+int
+rawEmbeddingSize(const PrimitiveSeq &seq)
+{
+    int size = 0;
+    for (const Primitive &prim : seq.prims)
+        size = std::max(size, kNumPrimKinds + prim.numParams());
+    return size;
+}
+
+std::vector<float>
+extractTlpFeatures(const PrimitiveSeq &seq, const TlpFeatureOptions &options)
+{
+    const size_t rows = static_cast<size_t>(options.seq_len);
+    const size_t cols = static_cast<size_t>(options.emb_size);
+    std::vector<float> features(rows * cols, 0.0f);
+
+    const size_t count =
+        std::min<size_t>(rows, seq.prims.size());   // crop long sequences
+    for (size_t i = 0; i < count; ++i) {
+        const Primitive &prim = seq.prims[i];
+        float *row = features.data() + i * cols;
+        if (options.method == TlpMethod::TokenPerPrim) {
+            // Method 2: the whole primitive becomes one token.
+            uint64_t h = static_cast<uint64_t>(prim.kind);
+            for (const Param &param : prim.params) {
+                if (std::holds_alternative<int64_t>(param)) {
+                    h = hashCombine(h, static_cast<uint64_t>(
+                                           std::get<int64_t>(param)));
+                } else {
+                    const auto &name = std::get<std::string>(param);
+                    h = hashCombine(h, fnv1a(name.data(), name.size()));
+                }
+            }
+            row[0] = static_cast<float>(1 + h % 9973) / 512.0f;
+            continue;
+        }
+        const auto emb = primitiveEmbedding(prim);
+        const size_t width = std::min(cols, emb.size()); // crop wide prims
+        std::copy(emb.begin(), emb.begin() + static_cast<long>(width), row);
+    }
+    return features;
+}
+
+} // namespace tlp::feat

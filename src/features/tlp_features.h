@@ -1,0 +1,61 @@
+/**
+ * @file
+ * TLP feature extraction (paper Sec. 4, Figs. 4-5).
+ *
+ * A schedule primitive is decomposed into its three basic elements:
+ *   - primitive type  -> a one-hot vector (14 kinds),
+ *   - numeric params  -> kept as numbers (signed-log compressed),
+ *   - name params     -> tokens, as NLP tasks treat words.
+ * The per-primitive features are concatenated positionally (Method 3 of
+ * Sec. 4.1); the resulting sequence is cropped/padded to a fixed
+ * [seq_len x emb_size] matrix and normalized. Method 2 (one token per
+ * whole primitive) is also implemented for ablation.
+ *
+ * Crucially this reads only the PrimitiveSeq — no lowering, no tensor
+ * program — which is where TLP's tuning-speed advantage comes from.
+ */
+#pragma once
+
+#include <vector>
+
+#include "schedule/primitive.h"
+
+namespace tlp::feat {
+
+/** Feature-extraction method (paper Sec. 4.1). */
+enum class TlpMethod : uint8_t
+{
+    Decomposed = 0,    ///< Method 3: type one-hot + numbers + tokens
+    TokenPerPrim = 1,  ///< Method 2: one token per primitive
+};
+
+/** Options of the TLP extractor. */
+struct TlpFeatureOptions
+{
+    /** Crop/pad sequence length (paper default 25 on the CPU dataset). */
+    int seq_len = 25;
+    /** Crop/pad embedding size (paper default 22). */
+    int emb_size = 22;
+    TlpMethod method = TlpMethod::Decomposed;
+};
+
+/** Stable token id of a character parameter (1-based; 0 = padding). */
+int nameToken(const std::string &name);
+
+/**
+ * Raw (uncropped) embedding of one primitive: one-hot type followed by
+ * encoded parameters in their original order.
+ */
+std::vector<float> primitiveEmbedding(const sched::Primitive &prim);
+
+/**
+ * Extract the fixed-size feature matrix of a schedule.
+ * @return row-major [seq_len x emb_size] floats.
+ */
+std::vector<float> extractTlpFeatures(const sched::PrimitiveSeq &seq,
+                                      const TlpFeatureOptions &options = {});
+
+/** Embedding width of @p seq before cropping (max over primitives). */
+int rawEmbeddingSize(const sched::PrimitiveSeq &seq);
+
+} // namespace tlp::feat

@@ -1,0 +1,38 @@
+#include "hwmodel/measurer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp::hw {
+
+Measurer::Measurer(HardwarePlatform hw, MeasureOptions options,
+                   uint64_t seed)
+    : sim_(std::move(hw)), options_(options),
+      rng_(hashCombine(seed, fnv1a(sim_.platform().name.data(),
+                                   sim_.platform().name.size())))
+{
+}
+
+double
+Measurer::measureMs(const sched::LoweredNest &nest)
+{
+    const double base = sim_.latencyMs(nest);
+    double best = 1e300;
+    for (int r = 0; r < options_.repeats; ++r) {
+        const double noisy =
+            base * std::exp(rng_.normal(0.0, options_.noise_std));
+        best = std::min(best, noisy);
+    }
+    elapsed_seconds_ += options_.seconds_per_measure;
+    ++count_;
+    return best;
+}
+
+void
+Measurer::resetAccounting()
+{
+    elapsed_seconds_ = 0.0;
+    count_ = 0;
+}
+
+} // namespace tlp::hw

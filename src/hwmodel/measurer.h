@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Measurement harness around the latency simulator.
+ *
+ * Mirrors the paper's description of on-hardware measurement: each
+ * measurement compiles + loads + runs the program several times (hundreds
+ * of milliseconds of wall clock per program), with run-to-run noise. The
+ * Measurer adds that noise, takes the best of @p repeats, and accounts
+ * the simulated wall-clock cost so the search-based benchmarks (Figs.
+ * 11-13) can report search time.
+ */
+#pragma once
+
+#include "hwmodel/simulator.h"
+#include "support/rng.h"
+
+namespace tlp::hw {
+
+/** Options of the measurement pipeline. */
+struct MeasureOptions
+{
+    int repeats = 3;
+    double noise_std = 0.02;          ///< relative run-to-run noise
+    double seconds_per_measure = 0.25;///< compile+load+run wall clock
+};
+
+/** Simulated on-hardware measurer. */
+class Measurer
+{
+  public:
+    Measurer(HardwarePlatform hw, MeasureOptions options = {},
+             uint64_t seed = 0x5eed);
+
+    const HardwarePlatform &platform() const { return sim_.platform(); }
+    const LatencySimulator &simulator() const { return sim_; }
+
+    /** Measure @p nest: noisy best-of-repeats latency in ms. */
+    double measureMs(const sched::LoweredNest &nest);
+
+    /** Total simulated wall-clock seconds spent measuring so far. */
+    double elapsedSeconds() const { return elapsed_seconds_; }
+
+    /** Number of measurements performed. */
+    int64_t count() const { return count_; }
+
+    /** Reset the wall-clock accounting. */
+    void resetAccounting();
+
+  private:
+    LatencySimulator sim_;
+    MeasureOptions options_;
+    Rng rng_;
+    double elapsed_seconds_ = 0.0;
+    int64_t count_ = 0;
+};
+
+} // namespace tlp::hw

@@ -1,0 +1,166 @@
+#include "hwmodel/platform.h"
+
+#include "support/logging.h"
+
+namespace tlp::hw {
+
+namespace {
+
+HardwarePlatform
+basePlatform(const std::string &name)
+{
+    HardwarePlatform hw;
+    hw.name = name;
+    return hw;
+}
+
+} // namespace
+
+HardwarePlatform
+HardwarePlatform::preset(const std::string &name)
+{
+    // CPU core counts follow the paper's Table 5 configurations.
+    if (name == "platinum-8272") {
+        auto hw = basePlatform(name);
+        hw.cores = 16;
+        hw.vector_lanes = 16;          // AVX-512
+        hw.freq_ghz = 2.6;
+        hw.flops_per_cycle = 4.0;      // two FMA ports
+        hw.l1_bytes = 32 << 10;
+        hw.l2_bytes = 1 << 20;
+        hw.l3_bytes = 32LL << 20;
+        hw.dram_bw_gbs = 90.0;
+        hw.l1_bw_gbs = 1600.0;
+        hw.l2_bw_gbs = 800.0;
+        hw.l3_bw_gbs = 300.0;
+        hw.parallel_overhead_us = 4.0;
+        hw.unroll_sweet_spot = 512.0;
+        hw.quirk_seed = 0x8272;
+        return hw;
+    }
+    if (name == "e5-2673") {
+        auto hw = basePlatform(name);
+        hw.cores = 8;
+        hw.vector_lanes = 8;           // AVX2
+        hw.freq_ghz = 2.3;
+        hw.flops_per_cycle = 4.0;
+        hw.l1_bytes = 32 << 10;
+        hw.l2_bytes = 256 << 10;
+        hw.l3_bytes = 20LL << 20;
+        hw.dram_bw_gbs = 55.0;
+        hw.l1_bw_gbs = 700.0;
+        hw.l2_bw_gbs = 350.0;
+        hw.l3_bw_gbs = 180.0;
+        hw.parallel_overhead_us = 5.0;
+        hw.unroll_sweet_spot = 64.0;
+        hw.quirk_seed = 0x2673;
+        return hw;
+    }
+    if (name == "epyc-7452") {
+        auto hw = basePlatform(name);
+        hw.cores = 4;
+        hw.vector_lanes = 8;           // AVX2
+        hw.freq_ghz = 2.35;
+        hw.flops_per_cycle = 4.0;
+        hw.l1_bytes = 32 << 10;
+        hw.l2_bytes = 512 << 10;
+        hw.l3_bytes = 64LL << 20;      // generous Zen L3 slice
+        hw.dram_bw_gbs = 45.0;
+        hw.l1_bw_gbs = 400.0;
+        hw.l2_bw_gbs = 220.0;
+        hw.l3_bw_gbs = 160.0;
+        hw.parallel_overhead_us = 6.0;
+        hw.unroll_sweet_spot = 64.0;
+        hw.quirk_seed = 0x7452;
+        return hw;
+    }
+    if (name == "graviton2") {
+        auto hw = basePlatform(name);
+        hw.cores = 16;
+        hw.vector_lanes = 4;           // NEON
+        hw.freq_ghz = 2.5;
+        hw.flops_per_cycle = 4.0;      // two NEON pipes
+        hw.l1_bytes = 64 << 10;
+        hw.l2_bytes = 1 << 20;
+        hw.l3_bytes = 32LL << 20;
+        hw.dram_bw_gbs = 100.0;
+        hw.l1_bw_gbs = 1200.0;
+        hw.l2_bw_gbs = 600.0;
+        hw.l3_bw_gbs = 250.0;
+        hw.parallel_overhead_us = 3.0;
+        hw.unroll_sweet_spot = 16.0;
+        hw.quirk_seed = 0x6216;
+        return hw;
+    }
+    if (name == "i7-10510u") {
+        auto hw = basePlatform(name);
+        hw.cores = 8;                  // 4C8T notebook part
+        hw.vector_lanes = 8;           // AVX2
+        hw.freq_ghz = 1.8;
+        hw.flops_per_cycle = 3.0;      // SMT-shared ports
+        hw.l1_bytes = 32 << 10;
+        hw.l2_bytes = 256 << 10;
+        hw.l3_bytes = 8LL << 20;
+        hw.dram_bw_gbs = 30.0;
+        hw.l1_bw_gbs = 500.0;
+        hw.l2_bw_gbs = 250.0;
+        hw.l3_bw_gbs = 120.0;
+        hw.parallel_overhead_us = 8.0;
+        hw.unroll_sweet_spot = 64.0;
+        hw.quirk_seed = 0x1051;
+        return hw;
+    }
+    if (name == "tesla-k80") {
+        auto hw = basePlatform(name);
+        hw.is_gpu = true;
+        hw.num_sms = 13;
+        hw.max_threads_per_sm = 2048;
+        hw.shared_mem_per_block = 48 << 10;
+        hw.gpu_gflops = 4100.0;
+        hw.gmem_bw_gbs = 240.0;
+        hw.smem_bw_gbs = 1500.0;
+        hw.gpu_l2_bytes = 1536 << 10;
+        hw.kernel_launch_us = 8.0;
+        hw.unroll_sweet_spot = 64.0;
+        hw.quirk_seed = 0x0080;
+        return hw;
+    }
+    if (name == "tesla-t4") {
+        auto hw = basePlatform(name);
+        hw.is_gpu = true;
+        hw.num_sms = 40;
+        hw.max_threads_per_sm = 1024;
+        hw.shared_mem_per_block = 64 << 10;
+        hw.gpu_gflops = 8100.0;
+        hw.gmem_bw_gbs = 300.0;
+        hw.smem_bw_gbs = 4000.0;
+        hw.gpu_l2_bytes = 4 << 20;
+        hw.kernel_launch_us = 4.0;
+        hw.unroll_sweet_spot = 512.0;
+        hw.quirk_seed = 0x0014;
+        return hw;
+    }
+    TLP_FATAL("unknown hardware preset: ", name);
+}
+
+std::vector<std::string>
+HardwarePlatform::presetNames()
+{
+    return {"platinum-8272", "e5-2673", "epyc-7452", "graviton2",
+            "i7-10510u", "tesla-k80", "tesla-t4"};
+}
+
+std::vector<std::string>
+HardwarePlatform::cpuPresetNames()
+{
+    return {"platinum-8272", "e5-2673", "epyc-7452", "graviton2",
+            "i7-10510u"};
+}
+
+std::vector<std::string>
+HardwarePlatform::gpuPresetNames()
+{
+    return {"tesla-k80", "tesla-t4"};
+}
+
+} // namespace tlp::hw

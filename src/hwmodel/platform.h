@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parametric hardware platform models.
+ *
+ * The paper evaluates on five CPUs (Intel Platinum 8272CL, Intel E5-2673
+ * v4, AMD EPYC 7452, ARM Graviton2, Intel i7-10510U) and two GPUs (NVIDIA
+ * Tesla K80 and T4). We model each as a parameter vector: the analytic
+ * latency simulator turns a lowered program plus one of these platforms
+ * into a latency. Distinct parameter vectors produce distinct program
+ * rankings — the "domain gap" that makes offline cost models unavailable
+ * across hardware (Sec. 5.1) — which is the phenomenon MTL-TLP targets.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlp::hw {
+
+/** Parameters of one hardware platform. */
+struct HardwarePlatform
+{
+    std::string name;
+    bool is_gpu = false;
+
+    // --- CPU parameters ---
+    int cores = 8;
+    int vector_lanes = 8;            ///< f32 SIMD lanes
+    double freq_ghz = 2.5;
+    double flops_per_cycle = 2.0;    ///< scalar FMA throughput per core
+    int64_t l1_bytes = 32 << 10;
+    int64_t l2_bytes = 512 << 10;
+    int64_t l3_bytes = 16 << 20;
+    double l1_bw_gbs = 400.0;        ///< aggregate at full occupancy
+    double l2_bw_gbs = 200.0;
+    double l3_bw_gbs = 100.0;
+    double dram_bw_gbs = 40.0;
+    int64_t icache_bytes = 32 << 10;
+
+    // --- GPU parameters ---
+    int num_sms = 0;
+    int max_threads_per_sm = 2048;
+    int max_threads_per_block = 1024;
+    int warp_size = 32;
+    int64_t shared_mem_per_block = 48 << 10;
+    double gpu_gflops = 0.0;
+    double gmem_bw_gbs = 0.0;
+    double smem_bw_gbs = 0.0;
+    int64_t gpu_l2_bytes = 4 << 20;
+
+    // --- per-platform systematic quirks (learnable) ---
+    double parallel_overhead_us = 5.0;   ///< per-parallel-region cost
+    double kernel_launch_us = 5.0;       ///< per-kernel cost (GPU)
+    double unroll_sweet_spot = 64.0;     ///< preferred auto_unroll step
+    uint64_t quirk_seed = 0;             ///< seeds deterministic wiggle
+
+    /** Peak scalar GFLOP/s of one core. */
+    double coreGflops() const { return freq_ghz * flops_per_cycle; }
+
+    /** Build a named preset; fatal on unknown names. */
+    static HardwarePlatform preset(const std::string &name);
+
+    /** All preset names: 5 CPUs then 2 GPUs (paper Table 5 order). */
+    static std::vector<std::string> presetNames();
+
+    /** The CPU preset names. */
+    static std::vector<std::string> cpuPresetNames();
+
+    /** The GPU preset names. */
+    static std::vector<std::string> gpuPresetNames();
+};
+
+} // namespace tlp::hw

@@ -1,0 +1,379 @@
+#include "ir/model_zoo.h"
+
+#include "support/logging.h"
+
+namespace tlp::ir {
+
+namespace {
+
+/** conv -> bn -> relu block. */
+NodeRef
+convBnRelu(ComputeGraph &g, NodeRef x, int64_t channels, int64_t kernel,
+           int64_t stride = 1)
+{
+    NodeRef y = g.conv2d(x, channels, kernel, stride);
+    y = g.batchNorm(y);
+    return g.relu(y);
+}
+
+/** ResNet bottleneck (v1.5): 1x1 -> 3x3(stride) -> 1x1 + shortcut. */
+NodeRef
+bottleneck(ComputeGraph &g, NodeRef x, int64_t mid, int64_t out,
+           int64_t stride, bool grouped)
+{
+    NodeRef shortcut = x;
+    const bool reshape_needed =
+        stride != 1 || g.desc(x).shape[1] != out;
+    if (reshape_needed) {
+        shortcut = g.conv2d(x, out, 1, stride);
+        shortcut = g.batchNorm(shortcut);
+    }
+    NodeRef y = convBnRelu(g, x, mid, 1);
+    if (grouped) {
+        y = g.groupConv2d(y, mid, 3, 32, stride);
+        y = g.batchNorm(y);
+        y = g.relu(y);
+    } else {
+        y = convBnRelu(g, y, mid, 3, stride);
+    }
+    y = g.conv2d(y, out, 1);
+    y = g.batchNorm(y);
+    y = g.add(y, shortcut);
+    return g.relu(y);
+}
+
+/** ResNet basic block: 3x3 -> 3x3 + shortcut. */
+NodeRef
+basicBlock(ComputeGraph &g, NodeRef x, int64_t channels, int64_t stride)
+{
+    NodeRef shortcut = x;
+    if (stride != 1 || g.desc(x).shape[1] != channels) {
+        shortcut = g.conv2d(x, channels, 1, stride);
+        shortcut = g.batchNorm(shortcut);
+    }
+    NodeRef y = convBnRelu(g, x, channels, 3, stride);
+    y = g.conv2d(y, channels, 3);
+    y = g.batchNorm(y);
+    y = g.add(y, shortcut);
+    return g.relu(y);
+}
+
+ComputeGraph
+buildResNetLike(const std::string &name, const std::vector<int> &blocks,
+                bool use_bottleneck, bool grouped, int64_t width,
+                int64_t batch)
+{
+    ComputeGraph g(name);
+    NodeRef x = g.input({batch, 3, 224, 224});
+    x = convBnRelu(g, x, 64, 7, 2);
+    x = g.maxPool2d(x, 3, 2);
+
+    int64_t channels = 64;
+    for (size_t stage = 0; stage < blocks.size(); ++stage) {
+        const int64_t stride = stage == 0 ? 1 : 2;
+        for (int block = 0; block < blocks[stage]; ++block) {
+            const int64_t s = block == 0 ? stride : 1;
+            if (use_bottleneck) {
+                const int64_t mid = channels * width / 64;
+                x = bottleneck(g, x, mid, channels * 4, s, grouped);
+            } else {
+                x = basicBlock(g, x, channels, s);
+            }
+        }
+        channels *= 2;
+    }
+    x = g.globalAvgPool(x);
+    x = g.dense(x, 1000);
+    g.biasAdd(x);
+    return g;
+}
+
+/** One transformer encoder layer on a [seq, hidden] activation. */
+NodeRef
+encoderLayer(ComputeGraph &g, NodeRef x, int64_t seq, int64_t hidden,
+             int64_t heads, int64_t ff, bool causal_tag)
+{
+    const int64_t head_dim = hidden / heads;
+    NodeRef q = g.dense(x, hidden);
+    q = g.biasAdd(q);
+    NodeRef k = g.dense(x, hidden);
+    k = g.biasAdd(k);
+    NodeRef v = g.dense(x, hidden);
+    v = g.biasAdd(v);
+
+    NodeRef qh = g.reshape(q, {heads, seq, head_dim});
+    NodeRef kh = g.reshape(k, {heads, head_dim, seq});
+    NodeRef scores = g.batchMatmul(qh, kh);
+    if (causal_tag)
+        scores = g.multiply(scores, g.input({heads, seq, seq}));
+    NodeRef probs = g.softmax(scores);
+    NodeRef vh = g.reshape(v, {heads, seq, head_dim});
+    NodeRef ctx = g.batchMatmul(probs, vh);
+    ctx = g.reshape(ctx, {seq, hidden});
+
+    NodeRef attn = g.dense(ctx, hidden);
+    attn = g.biasAdd(attn);
+    x = g.add(attn, x);
+    x = g.layerNorm(x);
+
+    NodeRef h = g.dense(x, ff);
+    h = g.biasAdd(h);
+    h = g.gelu(h);
+    h = g.dense(h, hidden);
+    h = g.biasAdd(h);
+    x = g.add(h, x);
+    return g.layerNorm(x);
+}
+
+/** MobileNet-V2 inverted residual. */
+NodeRef
+invertedResidual(ComputeGraph &g, NodeRef x, int64_t expand, int64_t out,
+                 int64_t stride)
+{
+    const int64_t in_c = g.desc(x).shape[1];
+    NodeRef y = x;
+    if (expand != 1) {
+        y = g.conv2d(y, in_c * expand, 1);
+        y = g.batchNorm(y);
+        y = g.clip(y, 0, 6);
+    }
+    y = g.depthwiseConv2d(y, 3, stride);
+    y = g.batchNorm(y);
+    y = g.clip(y, 0, 6);
+    y = g.conv2d(y, out, 1);
+    y = g.batchNorm(y);
+    if (stride == 1 && in_c == out)
+        y = g.add(y, x);
+    return y;
+}
+
+/** SqueezeNet fire module (squeeze 1x1, expand 1x1 + 3x3 summed). */
+NodeRef
+fireModule(ComputeGraph &g, NodeRef x, int64_t squeeze, int64_t expand)
+{
+    NodeRef s = convBnRelu(g, x, squeeze, 1);
+    NodeRef e1 = convBnRelu(g, s, expand, 1);
+    NodeRef e3 = convBnRelu(g, s, expand, 3);
+    return g.add(e1, e3);
+}
+
+} // namespace
+
+ComputeGraph
+buildResNet(int depth, int64_t batch)
+{
+    switch (depth) {
+      case 18:
+        return buildResNetLike("resnet-18", {2, 2, 2, 2}, false, false, 64,
+                               batch);
+      case 34:
+        return buildResNetLike("resnet-34", {3, 4, 6, 3}, false, false, 64,
+                               batch);
+      case 50:
+        return buildResNetLike("resnet-50", {3, 4, 6, 3}, true, false, 64,
+                               batch);
+      default:
+        TLP_FATAL("unsupported resnet depth ", depth);
+    }
+}
+
+ComputeGraph
+buildResNeXt50(int64_t batch)
+{
+    return buildResNetLike("resnext-50", {3, 4, 6, 3}, true, true, 128,
+                           batch);
+}
+
+ComputeGraph
+buildWideResNet(int64_t batch)
+{
+    return buildResNetLike("wide-resnet-50", {3, 4, 6, 3}, true, false, 128,
+                           batch);
+}
+
+ComputeGraph
+buildMobileNetV2(int64_t batch)
+{
+    ComputeGraph g("mobilenet-v2");
+    NodeRef x = g.input({batch, 3, 224, 224});
+    x = convBnRelu(g, x, 32, 3, 2);
+
+    struct Cfg { int64_t t, c, n, s; };
+    const Cfg cfgs[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                        {6, 320, 1, 1}};
+    for (const Cfg &cfg : cfgs) {
+        for (int64_t i = 0; i < cfg.n; ++i)
+            x = invertedResidual(g, x, cfg.t, cfg.c, i == 0 ? cfg.s : 1);
+    }
+    x = convBnRelu(g, x, 1280, 1);
+    x = g.globalAvgPool(x);
+    x = g.dense(x, 1000);
+    g.biasAdd(x);
+    return g;
+}
+
+ComputeGraph
+buildVgg16(int64_t batch)
+{
+    ComputeGraph g("vgg-16");
+    NodeRef x = g.input({batch, 3, 224, 224});
+    const int64_t channels[] = {64, 128, 256, 512, 512};
+    const int convs[] = {2, 2, 3, 3, 3};
+    for (int stage = 0; stage < 5; ++stage) {
+        for (int i = 0; i < convs[stage]; ++i)
+            x = convBnRelu(g, x, channels[stage], 3);
+        x = g.maxPool2d(x, 2, 2);
+    }
+    x = g.reshape(x, {batch, 512 * 7 * 7});
+    x = g.relu(g.biasAdd(g.dense(x, 4096)));
+    x = g.relu(g.biasAdd(g.dense(x, 4096)));
+    x = g.dense(x, 1000);
+    g.biasAdd(x);
+    return g;
+}
+
+ComputeGraph
+buildSqueezeNet(int64_t batch)
+{
+    ComputeGraph g("squeezenet");
+    NodeRef x = g.input({batch, 3, 224, 224});
+    x = convBnRelu(g, x, 64, 3, 2);
+    x = g.maxPool2d(x, 3, 2);
+    x = fireModule(g, x, 16, 64);
+    x = fireModule(g, x, 16, 64);
+    x = g.maxPool2d(x, 3, 2);
+    x = fireModule(g, x, 32, 128);
+    x = fireModule(g, x, 32, 128);
+    x = g.maxPool2d(x, 3, 2);
+    x = fireModule(g, x, 48, 192);
+    x = fireModule(g, x, 48, 192);
+    x = fireModule(g, x, 64, 256);
+    x = fireModule(g, x, 64, 256);
+    x = convBnRelu(g, x, 1000, 1);
+    x = g.globalAvgPool(x);
+    return g;
+}
+
+ComputeGraph
+buildInceptionLite(int64_t batch)
+{
+    ComputeGraph g("inception-lite");
+    NodeRef x = g.input({batch, 3, 224, 224});
+    x = convBnRelu(g, x, 32, 3, 2);
+    x = convBnRelu(g, x, 64, 3, 1);
+    x = g.maxPool2d(x, 3, 2);
+    // Inception-ish mixed blocks: parallel 1x1 / 3x3 / 5x5 paths summed
+    // (concat is approximated by matching widths and adding).
+    for (int block = 0; block < 4; ++block) {
+        const int64_t width = 64 << (block / 2);
+        NodeRef p1 = convBnRelu(g, x, width, 1);
+        NodeRef p3 = convBnRelu(g, x, width, 3);
+        NodeRef p5 = convBnRelu(g, convBnRelu(g, x, width / 2, 1), width, 5);
+        x = g.add(g.add(p1, p3), p5);
+        if (block % 2 == 1)
+            x = g.maxPool2d(x, 3, 2);
+    }
+    x = g.globalAvgPool(x);
+    x = g.dense(x, 1000);
+    return g;
+}
+
+ComputeGraph
+buildMlpMixer(int64_t batch)
+{
+    ComputeGraph g("mlp-mixer");
+    const int64_t patches = 196;    // 14x14
+    const int64_t hidden = 512;
+    NodeRef x = g.input({patches, hidden});
+    for (int layer = 0; layer < 6; ++layer) {
+        // Token mixing on the transposed activation.
+        NodeRef t = g.transpose2d(g.layerNorm(x));
+        t = g.gelu(g.biasAdd(g.dense(t, 256)));
+        t = g.dense(t, patches);
+        t = g.transpose2d(t);
+        x = g.add(x, t);
+        // Channel mixing.
+        NodeRef c = g.layerNorm(x);
+        c = g.gelu(g.biasAdd(g.dense(c, 2048)));
+        c = g.dense(c, hidden);
+        x = g.add(x, c);
+    }
+    x = g.reduceMean(x);
+    return g;
+}
+
+ComputeGraph
+buildBert(const std::string &name, int64_t layers, int64_t hidden,
+          int64_t heads, int64_t ff, int64_t seq_len)
+{
+    ComputeGraph g(name);
+    NodeRef x = g.input({seq_len, hidden});
+    x = g.layerNorm(x);
+    for (int64_t layer = 0; layer < layers; ++layer)
+        x = encoderLayer(g, x, seq_len, hidden, heads, ff, false);
+    NodeRef pooled = g.reduceMean(g.transpose2d(x));
+    pooled = g.reshape(pooled, {1, hidden});
+    pooled = g.tanhOp(g.biasAdd(g.dense(pooled, hidden)));
+    g.dense(pooled, 2);
+    return g;
+}
+
+ComputeGraph
+buildGpt2Lite(int64_t seq_len)
+{
+    ComputeGraph g("gpt2-lite");
+    const int64_t hidden = 384;
+    NodeRef x = g.input({seq_len, hidden});
+    for (int layer = 0; layer < 4; ++layer)
+        x = encoderLayer(g, x, seq_len, hidden, 6, hidden * 4, true);
+    g.dense(x, 1024);
+    return g;
+}
+
+ComputeGraph
+buildNetwork(const std::string &name)
+{
+    if (name == "resnet-18")      return buildResNet(18);
+    if (name == "resnet-34")      return buildResNet(34);
+    if (name == "resnet-50")      return buildResNet(50);
+    if (name == "resnext-50")     return buildResNeXt50();
+    if (name == "wide-resnet-50") return buildWideResNet();
+    if (name == "mobilenet-v2")   return buildMobileNetV2();
+    if (name == "vgg-16")         return buildVgg16();
+    if (name == "squeezenet")     return buildSqueezeNet();
+    if (name == "inception-lite") return buildInceptionLite();
+    if (name == "mlp-mixer")      return buildMlpMixer();
+    if (name == "bert-tiny")      return buildBert("bert-tiny", 2, 128, 2, 512);
+    if (name == "bert-small")     return buildBert("bert-small", 4, 256, 4, 1024);
+    if (name == "bert-medium")    return buildBert("bert-medium", 8, 512, 8, 2048);
+    if (name == "bert-base")      return buildBert("bert-base", 12, 768, 12, 3072);
+    if (name == "gpt2-lite")      return buildGpt2Lite();
+    TLP_FATAL("unknown network: ", name);
+}
+
+std::vector<std::string>
+testNetworkNames()
+{
+    return {"resnet-50", "mobilenet-v2", "resnext-50", "bert-tiny",
+            "bert-base"};
+}
+
+std::vector<std::string>
+trainNetworkNames()
+{
+    return {"resnet-18", "resnet-34", "wide-resnet-50", "vgg-16",
+            "squeezenet", "inception-lite", "mlp-mixer", "bert-small",
+            "bert-medium", "gpt2-lite"};
+}
+
+std::vector<std::string>
+allNetworkNames()
+{
+    auto names = trainNetworkNames();
+    for (const auto &name : testNetworkNames())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace tlp::ir

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Network definitions (the "model zoo").
+ *
+ * The paper holds out five networks as the test set — ResNet-50,
+ * MobileNet-V2, ResNeXt-50, BERT-tiny, and BERT-base (batch 1, image 224
+ * or sequence length 128) — and trains on the remaining TenSet networks.
+ * We mirror that: `testNetworkNames()` returns those five and
+ * `trainNetworkNames()` returns a zoo of further classic architectures
+ * whose subgraphs form the training distribution.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace tlp::ir {
+
+/** Build a network by name; fatal on unknown names. */
+ComputeGraph buildNetwork(const std::string &name);
+
+/** The five held-out evaluation networks (Sec. 6.1 of the paper). */
+std::vector<std::string> testNetworkNames();
+
+/** The training-zoo networks. */
+std::vector<std::string> trainNetworkNames();
+
+/** All networks (training zoo + test networks). */
+std::vector<std::string> allNetworkNames();
+
+// Individual builders (exposed for tests and examples).
+ComputeGraph buildResNet(int depth, int64_t batch = 1);     ///< 18/34/50
+ComputeGraph buildResNeXt50(int64_t batch = 1);
+ComputeGraph buildMobileNetV2(int64_t batch = 1);
+ComputeGraph buildVgg16(int64_t batch = 1);
+ComputeGraph buildSqueezeNet(int64_t batch = 1);
+ComputeGraph buildWideResNet(int64_t batch = 1);
+ComputeGraph buildMlpMixer(int64_t batch = 1);
+ComputeGraph buildBert(const std::string &name, int64_t layers,
+                       int64_t hidden, int64_t heads, int64_t ff,
+                       int64_t seq_len = 128);
+ComputeGraph buildGpt2Lite(int64_t seq_len = 128);
+ComputeGraph buildInceptionLite(int64_t batch = 1);
+
+} // namespace tlp::ir

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Operator nodes of the compute-graph IR.
+ *
+ * An OpNode is a single tensor operator with integer attributes (strides,
+ * padding, group counts, ...). Shapes are inferred eagerly by the graph
+ * builder, so every node carries its concrete output descriptor.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/dtype.h"
+#include "support/serialize.h"
+
+namespace tlp::ir {
+
+/** The operator vocabulary of the IR. */
+enum class OpKind : uint8_t
+{
+    // Graph inputs / constants.
+    Input = 0,
+    Constant,
+
+    // Anchor (compute-heavy) operators.
+    Dense,            ///< [b, k] x [n, k]^T -> [b, n]
+    Conv2d,           ///< NCHW direct convolution
+    DepthwiseConv2d,  ///< per-channel convolution
+    GroupConv2d,      ///< grouped convolution
+    BatchMatmul,      ///< [b, m, k] x [b, k, n] -> [b, m, n]
+
+    // Medium anchors (small or windowed reductions).
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool,
+    Softmax,          ///< over the last axis
+    ReduceMean,       ///< over the last axis
+
+    // Elementwise / injective operators (fusable tails).
+    Add,
+    Multiply,
+    BiasAdd,
+    ReLU,
+    GELU,
+    Tanh,
+    Sigmoid,
+    BatchNormInfer,   ///< folded scale+shift
+    LayerNorm,        ///< over the last axis
+    Clip,
+
+    // Layout / shape operators (fusable, zero-flop).
+    Reshape,
+    Transpose2d,      ///< swap the last two axes
+
+    NumKinds
+};
+
+/** Short mnemonic, e.g. "conv2d". */
+std::string opKindName(OpKind kind);
+
+/** True for heavy anchors that get full multi-level tiling schedules. */
+bool isHeavyAnchor(OpKind kind);
+
+/** True for medium anchors (pooling, softmax-style reductions). */
+bool isMediumAnchor(OpKind kind);
+
+/** True for elementwise/injective operators that fuse into anchors. */
+bool isFusable(OpKind kind);
+
+/** One operator in a compute graph. */
+struct OpNode
+{
+    OpKind kind = OpKind::Input;
+    /** Indices of producer nodes within the owning graph. */
+    std::vector<int> inputs;
+    /** Integer attributes: "kernel", "stride", "pad", "groups", ... */
+    std::map<std::string, int64_t> attrs;
+    /** Inferred output descriptor. */
+    TensorDesc out;
+
+    /** Fetch an attribute with a default. */
+    int64_t attr(const std::string &name, int64_t fallback = 0) const;
+
+    /** Short description, e.g. "conv2d k3 s2 [1, 64, 56, 56]". */
+    std::string toString() const;
+
+    void serialize(BinaryWriter &writer) const;
+    static OpNode deserialize(BinaryReader &reader);
+};
+
+/** Multiply-accumulate-style FLOP count of @p node (2 per MAC). */
+int64_t opFlops(const OpNode &node,
+                const std::vector<TensorDesc> &input_descs);
+
+} // namespace tlp::ir

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fusion partitioner: networks -> deduplicated fused subgraphs.
+ *
+ * Mirrors the fusion pass of deep-learning compilers (Fig. 1 of the TLP
+ * paper): anchor operators open a group, downstream fusable elementwise /
+ * injective ops join their producer's group, and groups are deduplicated
+ * by canonical key with occurrence counts kept as weights.
+ */
+#pragma once
+
+#include "ir/graph.h"
+#include "ir/subgraph.h"
+
+namespace tlp::ir {
+
+/** Partitioning knobs. */
+struct PartitionOptions
+{
+    /** Maximum number of ops fused into one group (excluding inputs). */
+    int max_group_ops = 6;
+    /** Drop zero-FLOP subgraphs (pure reshape/transpose chains). */
+    bool drop_trivial = true;
+};
+
+/** Partition @p graph into a Workload of deduplicated subgraphs. */
+Workload partitionGraph(const ComputeGraph &graph,
+                        const PartitionOptions &options = {});
+
+} // namespace tlp::ir

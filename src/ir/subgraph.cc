@@ -1,0 +1,92 @@
+#include "ir/subgraph.h"
+
+#include <sstream>
+
+#include "support/rng.h"
+#include "support/str_util.h"
+
+namespace tlp::ir {
+
+Subgraph::Subgraph(std::vector<OpNode> ops, int anchor)
+    : ops_(std::move(ops)), anchor_(anchor)
+{
+    finalize();
+}
+
+const OpNode &
+Subgraph::anchor() const
+{
+    TLP_CHECK(anchor_ >= 0, "subgraph has no anchor");
+    return ops_.at(static_cast<size_t>(anchor_));
+}
+
+int
+Subgraph::outputIndex() const
+{
+    return static_cast<int>(ops_.size()) - 1;
+}
+
+void
+Subgraph::finalize()
+{
+    TLP_CHECK(!ops_.empty(), "empty subgraph");
+
+    // Canonical description: op kinds, attrs, and shapes in order.
+    std::ostringstream os;
+    for (const auto &op : ops_)
+        os << op.toString() << ';';
+    const std::string desc = os.str();
+    const uint64_t hash = fnv1a(desc.data(), desc.size());
+
+    // Short human prefix + hash for uniqueness.
+    std::string prefix = anchor_ >= 0 ? opKindName(ops_[static_cast<size_t>(anchor_)].kind)
+                                      : std::string("elemwise");
+    key_ = prefix + "_" + strFormat("%016llx",
+                                    static_cast<unsigned long long>(hash));
+
+    flops_ = 0;
+    for (const auto &op : ops_) {
+        std::vector<TensorDesc> descs;
+        descs.reserve(op.inputs.size());
+        for (int idx : op.inputs)
+            descs.push_back(ops_.at(static_cast<size_t>(idx)).out);
+        flops_ += opFlops(op, descs);
+    }
+}
+
+std::string
+Subgraph::toString() const
+{
+    std::ostringstream os;
+    os << "subgraph " << key_ << " (flops=" << flops_ << ")\n";
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        os << "  %" << i << " = " << ops_[i].toString();
+        if (static_cast<int>(i) == anchor_)
+            os << "   <-- anchor";
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+Subgraph::serialize(BinaryWriter &writer) const
+{
+    writer.writePod<uint32_t>(static_cast<uint32_t>(ops_.size()));
+    for (const auto &op : ops_)
+        op.serialize(writer);
+    writer.writePod<int32_t>(anchor_);
+}
+
+Subgraph
+Subgraph::deserialize(BinaryReader &reader)
+{
+    const auto count = reader.readPod<uint32_t>();
+    std::vector<OpNode> ops;
+    ops.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        ops.push_back(OpNode::deserialize(reader));
+    const auto anchor = reader.readPod<int32_t>();
+    return Subgraph(std::move(ops), anchor);
+}
+
+} // namespace tlp::ir

@@ -1,0 +1,152 @@
+#include "models/cost_model.h"
+
+#include <cmath>
+
+#include "features/ansor_features.h"
+#include "schedule/lower.h"
+
+namespace tlp::model {
+
+namespace {
+
+/** Ad-hoc LabeledSet holding only features (for batch prediction). */
+data::LabeledSet
+featureOnlySet(std::vector<float> features, int rows, int dim)
+{
+    data::LabeledSet set;
+    set.rows = rows;
+    set.feature_dim = dim;
+    set.num_tasks = 1;
+    set.features = std::move(features);
+    set.labels.assign(static_cast<size_t>(rows),
+                      std::numeric_limits<float>::quiet_NaN());
+    set.groups.assign(static_cast<size_t>(rows), 0);
+    return set;
+}
+
+std::vector<float>
+ansorFeaturesOf(const std::vector<sched::State> &states)
+{
+    std::vector<float> features;
+    features.reserve(states.size() *
+                     static_cast<size_t>(feat::kAnsorFeatureSize));
+    for (const auto &state : states) {
+        const auto row = feat::extractAnsorFeatures(sched::lower(state));
+        features.insert(features.end(), row.begin(), row.end());
+    }
+    return features;
+}
+
+} // namespace
+
+TlpCostModel::TlpCostModel(std::shared_ptr<TlpNet> net,
+                           feat::TlpFeatureOptions feature_options,
+                           int head_task)
+    : net_(std::move(net)), feature_options_(feature_options),
+      head_task_(head_task)
+{
+    TLP_CHECK(net_ != nullptr, "null TLP net");
+    feature_options_.seq_len = net_->config().seq_len;
+    feature_options_.emb_size = net_->config().emb_size;
+}
+
+std::vector<double>
+TlpCostModel::scoreStates(int task_id,
+                          const std::vector<sched::State> &states)
+{
+    if (states.empty())
+        return {};
+    std::vector<float> features;
+    const int dim = feature_options_.seq_len * feature_options_.emb_size;
+    features.reserve(states.size() * static_cast<size_t>(dim));
+    for (const auto &state : states) {
+        const auto row =
+            feat::extractTlpFeatures(state.steps(), feature_options_);
+        features.insert(features.end(), row.begin(), row.end());
+    }
+    auto set = featureOnlySet(std::move(features),
+                              static_cast<int>(states.size()), dim);
+    return predictTlpNet(*net_, set, head_task_);
+}
+
+TensetMlpCostModel::TensetMlpCostModel(std::shared_ptr<TensetMlpNet> net)
+    : net_(std::move(net))
+{
+    TLP_CHECK(net_ != nullptr, "null MLP net");
+}
+
+std::vector<double>
+TensetMlpCostModel::scoreStates(int task_id,
+                                const std::vector<sched::State> &states)
+{
+    if (states.empty())
+        return {};
+    auto set = featureOnlySet(ansorFeaturesOf(states),
+                              static_cast<int>(states.size()),
+                              feat::kAnsorFeatureSize);
+    return predictMlp(*net_, set);
+}
+
+AnsorOnlineCostModel::AnsorOnlineCostModel(GbdtOptions options)
+    : options_(options), gbdt_(options)
+{
+}
+
+std::vector<double>
+AnsorOnlineCostModel::scoreStates(int task_id,
+                                  const std::vector<sched::State> &states)
+{
+    if (states.empty())
+        return {};
+    if (!gbdt_.fitted()) {
+        // No measurements yet: uninformative scores.
+        return std::vector<double>(states.size(), 0.0);
+    }
+    const auto features = ansorFeaturesOf(states);
+    return gbdt_.predict(features, static_cast<int>(states.size()),
+                         feat::kAnsorFeatureSize);
+}
+
+void
+AnsorOnlineCostModel::update(
+    int task_id, const std::vector<const sched::State *> &states,
+    const std::vector<double> &latency_ms)
+{
+    TLP_CHECK(states.size() == latency_ms.size(), "update size mismatch");
+    for (size_t i = 0; i < states.size(); ++i) {
+        const auto row =
+            feat::extractAnsorFeatures(sched::lower(*states[i]));
+        features_.insert(features_.end(), row.begin(), row.end());
+        latencies_.push_back(static_cast<float>(latency_ms[i]));
+        tasks_.push_back(task_id);
+        auto it = task_min_.find(task_id);
+        if (it == task_min_.end() ||
+            it->second > latency_ms[i]) {
+            task_min_[task_id] = static_cast<float>(latency_ms[i]);
+        }
+        ++rows_;
+    }
+    // Retrain from scratch on normalized labels (min_latency / latency).
+    std::vector<float> labels(static_cast<size_t>(rows_));
+    for (int i = 0; i < rows_; ++i) {
+        labels[static_cast<size_t>(i)] =
+            task_min_[tasks_[static_cast<size_t>(i)]] /
+            latencies_[static_cast<size_t>(i)];
+    }
+    gbdt_ = Gbdt(options_);
+    gbdt_.fit(features_, rows_, feat::kAnsorFeatureSize, labels);
+}
+
+RandomCostModel::RandomCostModel(uint64_t seed) : rng_(seed) {}
+
+std::vector<double>
+RandomCostModel::scoreStates(int task_id,
+                             const std::vector<sched::State> &states)
+{
+    std::vector<double> scores(states.size());
+    for (auto &score : scores)
+        score = rng_.uniform();
+    return scores;
+}
+
+} // namespace tlp::model

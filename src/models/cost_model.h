@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The search-facing cost-model interface and its implementations.
+ *
+ * The auto-tuner (src/tuner) scores thousands of candidate schedules per
+ * round through this interface and feeds back measured latencies:
+ *
+ *   - TlpCostModel:      pretrained TLP / MTL-TLP net; features come
+ *                        straight from the primitive sequence (no
+ *                        lowering — the Fig. 10 speed advantage).
+ *   - TensetMlpCostModel: pretrained MLP over Ansor features; must lower
+ *                        every candidate before scoring.
+ *   - AnsorOnlineCostModel: the Ansor baseline; a GBDT retrained online
+ *                        on the records measured so far.
+ *   - RandomCostModel:   uniform scores (sanity floor).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "features/tlp_features.h"
+#include "models/gbdt.h"
+#include "models/tenset_mlp.h"
+#include "models/tlp_model.h"
+#include "schedule/state.h"
+
+namespace tlp::model {
+
+/** Abstract cost model used by the search loop. */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /** Display name, e.g. "tlp". */
+    virtual std::string name() const = 0;
+
+    /** Score candidates of task @p task_id; higher = predicted faster. */
+    virtual std::vector<double>
+    scoreStates(int task_id, const std::vector<sched::State> &states) = 0;
+
+    /** Feed back measured latencies (online models retrain). */
+    virtual void update(int task_id,
+                        const std::vector<const sched::State *> &states,
+                        const std::vector<double> &latency_ms)
+    {
+    }
+
+    /** True when scoring requires lowering the candidate programs. */
+    virtual bool needsLowering() const = 0;
+};
+
+/** TLP / MTL-TLP cost model (offline-pretrained). */
+class TlpCostModel : public CostModel
+{
+  public:
+    TlpCostModel(std::shared_ptr<TlpNet> net,
+                 feat::TlpFeatureOptions feature_options = {},
+                 int head_task = 0);
+
+    std::string name() const override { return "tlp"; }
+    std::vector<double>
+    scoreStates(int task_id, const std::vector<sched::State> &states)
+        override;
+    bool needsLowering() const override { return false; }
+
+  private:
+    std::shared_ptr<TlpNet> net_;
+    feat::TlpFeatureOptions feature_options_;
+    int head_task_;
+};
+
+/** TenSet MLP cost model (offline-pretrained, Ansor features). */
+class TensetMlpCostModel : public CostModel
+{
+  public:
+    explicit TensetMlpCostModel(std::shared_ptr<TensetMlpNet> net);
+
+    std::string name() const override { return "tenset-mlp"; }
+    std::vector<double>
+    scoreStates(int task_id, const std::vector<sched::State> &states)
+        override;
+    bool needsLowering() const override { return true; }
+
+  private:
+    std::shared_ptr<TensetMlpNet> net_;
+};
+
+/** Ansor's online GBDT over Ansor features. */
+class AnsorOnlineCostModel : public CostModel
+{
+  public:
+    explicit AnsorOnlineCostModel(GbdtOptions options = {});
+
+    std::string name() const override { return "ansor-online"; }
+    std::vector<double>
+    scoreStates(int task_id, const std::vector<sched::State> &states)
+        override;
+    void update(int task_id,
+                const std::vector<const sched::State *> &states,
+                const std::vector<double> &latency_ms) override;
+    bool needsLowering() const override { return true; }
+
+  private:
+    GbdtOptions options_;
+    Gbdt gbdt_;
+    std::vector<float> features_;               ///< rows x 164
+    std::vector<float> latencies_;
+    std::vector<int> tasks_;
+    std::map<int, float> task_min_;
+    int rows_ = 0;
+};
+
+/** Uniform-random scores. */
+class RandomCostModel : public CostModel
+{
+  public:
+    explicit RandomCostModel(uint64_t seed = 0xabcd);
+
+    std::string name() const override { return "random"; }
+    std::vector<double>
+    scoreStates(int task_id, const std::vector<sched::State> &states)
+        override;
+    bool needsLowering() const override { return false; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace tlp::model

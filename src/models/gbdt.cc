@@ -1,0 +1,185 @@
+#include "models/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace tlp::model {
+
+Gbdt::Gbdt(GbdtOptions options) : options_(options) {}
+
+int
+Gbdt::buildNode(Tree &tree, const std::vector<float> &features, int dim,
+                const std::vector<float> &residuals,
+                std::vector<int> &samples, int begin, int end, int depth)
+{
+    const int count = end - begin;
+    double sum = 0.0;
+    for (int i = begin; i < end; ++i)
+        sum += residuals[static_cast<size_t>(
+            samples[static_cast<size_t>(i)])];
+    const double mean = sum / std::max(1, count);
+
+    TreeNode node;
+    node.value = static_cast<float>(mean);
+    const int node_index = static_cast<int>(tree.size());
+    tree.push_back(node);
+
+    if (depth >= options_.max_depth ||
+        count < 2 * options_.min_samples_leaf) {
+        return node_index;
+    }
+
+    // Exact greedy split: minimize total SSE = maximize sum^2/n terms.
+    double best_gain = options_.min_gain;
+    int best_feature = -1;
+    float best_threshold = 0.0f;
+    const double parent_score = sum * sum / count;
+
+    std::vector<std::pair<float, int>> order(
+        static_cast<size_t>(count));
+    for (int f = 0; f < dim; ++f) {
+        for (int i = 0; i < count; ++i) {
+            const int sample = samples[static_cast<size_t>(begin + i)];
+            order[static_cast<size_t>(i)] = {
+                features[static_cast<size_t>(sample) *
+                             static_cast<size_t>(dim) +
+                         static_cast<size_t>(f)],
+                sample};
+        }
+        std::sort(order.begin(), order.end());
+        if (order.front().first == order.back().first)
+            continue;   // constant feature
+        double left_sum = 0.0;
+        for (int i = 0; i + 1 < count; ++i) {
+            left_sum += residuals[static_cast<size_t>(
+                order[static_cast<size_t>(i)].second)];
+            const int left_n = i + 1;
+            const int right_n = count - left_n;
+            if (left_n < options_.min_samples_leaf ||
+                right_n < options_.min_samples_leaf) {
+                continue;
+            }
+            const float here = order[static_cast<size_t>(i)].first;
+            const float next = order[static_cast<size_t>(i + 1)].first;
+            if (here == next)
+                continue;   // cannot split between equal values
+            const double right_sum = sum - left_sum;
+            const double gain = left_sum * left_sum / left_n +
+                                right_sum * right_sum / right_n -
+                                parent_score;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = 0.5f * (here + next);
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_index;
+
+    // Partition samples in place.
+    const auto middle = std::partition(
+        samples.begin() + begin, samples.begin() + end,
+        [&](int sample) {
+            return features[static_cast<size_t>(sample) *
+                                static_cast<size_t>(dim) +
+                            static_cast<size_t>(best_feature)] <=
+                   best_threshold;
+        });
+    const int split = static_cast<int>(middle - samples.begin());
+    if (split == begin || split == end)
+        return node_index;   // degenerate partition
+
+    tree[static_cast<size_t>(node_index)].feature = best_feature;
+    tree[static_cast<size_t>(node_index)].threshold = best_threshold;
+    const int left = buildNode(tree, features, dim, residuals, samples,
+                               begin, split, depth + 1);
+    const int right = buildNode(tree, features, dim, residuals, samples,
+                                split, end, depth + 1);
+    tree[static_cast<size_t>(node_index)].left = left;
+    tree[static_cast<size_t>(node_index)].right = right;
+    return node_index;
+}
+
+void
+Gbdt::fit(const std::vector<float> &features, int rows, int dim,
+          const std::vector<float> &targets)
+{
+    TLP_CHECK(rows > 0 && dim > 0, "empty training set");
+    TLP_CHECK(static_cast<int64_t>(features.size()) ==
+                  static_cast<int64_t>(rows) * dim,
+              "feature matrix shape mismatch");
+    TLP_CHECK(static_cast<int>(targets.size()) == rows,
+              "target size mismatch");
+    trees_.clear();
+    dim_ = dim;
+
+    base_ = std::accumulate(targets.begin(), targets.end(), 0.0) / rows;
+    std::vector<float> residuals(targets);
+    for (auto &r : residuals)
+        r -= static_cast<float>(base_);
+
+    std::vector<int> samples(static_cast<size_t>(rows));
+    for (int t = 0; t < options_.trees; ++t) {
+        std::iota(samples.begin(), samples.end(), 0);
+        Tree tree;
+        buildNode(tree, features, dim, residuals, samples, 0, rows, 0);
+        // Shrink leaves and update residuals.
+        for (auto &node : tree)
+            node.value *= static_cast<float>(options_.learning_rate);
+        bool any_split = false;
+        for (const auto &node : tree)
+            any_split |= node.feature >= 0;
+        for (int i = 0; i < rows; ++i) {
+            const float *row = features.data() +
+                               static_cast<size_t>(i) *
+                                   static_cast<size_t>(dim);
+            int cursor = 0;
+            while (tree[static_cast<size_t>(cursor)].feature >= 0) {
+                const auto &node = tree[static_cast<size_t>(cursor)];
+                cursor = row[node.feature] <= node.threshold ? node.left
+                                                             : node.right;
+            }
+            residuals[static_cast<size_t>(i)] -=
+                tree[static_cast<size_t>(cursor)].value;
+        }
+        trees_.push_back(std::move(tree));
+        if (!any_split)
+            break;   // nothing left to learn
+    }
+}
+
+double
+Gbdt::predictRow(const float *row) const
+{
+    double prediction = base_;
+    for (const auto &tree : trees_) {
+        int cursor = 0;
+        while (tree[static_cast<size_t>(cursor)].feature >= 0) {
+            const auto &node = tree[static_cast<size_t>(cursor)];
+            cursor = row[node.feature] <= node.threshold ? node.left
+                                                         : node.right;
+        }
+        prediction += tree[static_cast<size_t>(cursor)].value;
+    }
+    return prediction;
+}
+
+std::vector<double>
+Gbdt::predict(const std::vector<float> &features, int rows, int dim) const
+{
+    TLP_CHECK(dim == dim_ || trees_.empty(), "feature width mismatch");
+    std::vector<double> predictions(static_cast<size_t>(rows));
+    for (int i = 0; i < rows; ++i) {
+        predictions[static_cast<size_t>(i)] = predictRow(
+            features.data() +
+            static_cast<size_t>(i) * static_cast<size_t>(dim));
+    }
+    return predictions;
+}
+
+} // namespace tlp::model

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gradient-boosted regression trees (the Ansor online model).
+ *
+ * Ansor's online cost model is an XGBoost regressor over its
+ * hand-engineered features, retrained on the records measured so far in
+ * the current tuning session. This is a from-scratch equivalent: squared
+ * error boosting with exact greedy splits.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tlp::model {
+
+/** Boosting hyper-parameters. */
+struct GbdtOptions
+{
+    int trees = 30;
+    int max_depth = 5;
+    double learning_rate = 0.3;
+    int min_samples_leaf = 4;
+    double min_gain = 1e-7;
+};
+
+/** The boosted-tree ensemble. */
+class Gbdt
+{
+  public:
+    explicit Gbdt(GbdtOptions options = {});
+
+    /** Fit to rows x dim features and targets (squared error). */
+    void fit(const std::vector<float> &features, int rows, int dim,
+             const std::vector<float> &targets);
+
+    /** Predict one row. */
+    double predictRow(const float *row) const;
+
+    /** Predict all rows. */
+    std::vector<double> predict(const std::vector<float> &features,
+                                int rows, int dim) const;
+
+    /** True after a successful fit. */
+    bool fitted() const { return !trees_.empty(); }
+
+  private:
+    struct TreeNode
+    {
+        int feature = -1;         ///< -1 = leaf
+        float threshold = 0.0f;
+        float value = 0.0f;       ///< leaf prediction
+        int left = -1, right = -1;
+    };
+    using Tree = std::vector<TreeNode>;
+
+    int buildNode(Tree &tree, const std::vector<float> &features, int dim,
+                  const std::vector<float> &residuals,
+                  std::vector<int> &samples, int begin, int end,
+                  int depth);
+
+    GbdtOptions options_;
+    double base_ = 0.0;
+    std::vector<Tree> trees_;
+    int dim_ = 0;
+};
+
+} // namespace tlp::model

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Loss functions: MSE and pairwise lambda-rank (paper Sec. 4.4).
+ *
+ * The label of a tensor program is min_latency / latency in (0, 1]. MSE
+ * regresses it directly; the rank loss only cares about ordering within
+ * a subgraph's candidate set, weighting each pair by its label gap as in
+ * LambdaRank/TenSet. Both are implemented as single fused graph nodes so
+ * the O(n^2) pair loop never materializes intermediate tensors.
+ */
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace tlp::nn {
+
+/** Mean squared error between pred [n] and targets. */
+Tensor mseLoss(const Tensor &pred, const std::vector<float> &targets);
+
+/**
+ * Pairwise lambda-rank loss within groups.
+ *
+ * @param pred    scores [n]
+ * @param targets labels [n], higher = better
+ * @param groups  group id per element; pairs are formed within a group
+ */
+Tensor rankLoss(const Tensor &pred, const std::vector<float> &targets,
+                const std::vector<int> &groups);
+
+} // namespace tlp::nn

@@ -1,0 +1,678 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp::nn {
+
+namespace {
+
+std::shared_ptr<Node>
+makeNode(std::vector<int> shape,
+         std::vector<std::shared_ptr<Node>> parents)
+{
+    auto node = std::make_shared<Node>();
+    node->shape = std::move(shape);
+    node->value.resize(static_cast<size_t>(shapeNumel(node->shape)));
+    node->parents = std::move(parents);
+    for (const auto &parent : node->parents)
+        node->requires_grad |= parent->requires_grad;
+    return node;
+}
+
+/** Leading dims x last dim factorization. */
+std::pair<int64_t, int64_t>
+rowsCols(const std::vector<int> &shape)
+{
+    TLP_CHECK(!shape.empty(), "rank-0 tensor");
+    const int64_t cols = shape.back();
+    return {shapeNumel(shape) / cols, cols};
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    TLP_CHECK(a.shape() == b.shape(), "add shape mismatch");
+    auto node = makeNode(a.shape(), {a.node(), b.node()});
+    const auto &av = a.value();
+    const auto &bv = b.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = av[i] + bv[i];
+    node->backward_fn = [](Node &self) {
+        for (int p = 0; p < 2; ++p) {
+            auto &grad = self.parents[static_cast<size_t>(p)]->grad;
+            for (size_t i = 0; i < self.grad.size(); ++i)
+                grad[i] += self.grad[i];
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+addBias(const Tensor &x, const Tensor &bias)
+{
+    TLP_CHECK(bias.shape().size() == 1, "bias must be 1-D");
+    const auto [rows, cols] = rowsCols(x.shape());
+    TLP_CHECK(cols == bias.numel(), "bias width mismatch");
+    auto node = makeNode(x.shape(), {x.node(), bias.node()});
+    const auto &xv = x.value();
+    const auto &bv = bias.value();
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t c = 0; c < cols; ++c)
+            node->value[static_cast<size_t>(r * cols + c)] =
+                xv[static_cast<size_t>(r * cols + c)] +
+                bv[static_cast<size_t>(c)];
+    const int64_t rows_c = rows, cols_c = cols;
+    node->backward_fn = [rows_c, cols_c](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        auto &gb = self.parents[1]->grad;
+        for (int64_t r = 0; r < rows_c; ++r) {
+            for (int64_t c = 0; c < cols_c; ++c) {
+                const float g =
+                    self.grad[static_cast<size_t>(r * cols_c + c)];
+                gx[static_cast<size_t>(r * cols_c + c)] += g;
+                gb[static_cast<size_t>(c)] += g;
+            }
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    TLP_CHECK(a.shape() == b.shape(), "mul shape mismatch");
+    auto node = makeNode(a.shape(), {a.node(), b.node()});
+    const auto &av = a.value();
+    const auto &bv = b.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = av[i] * bv[i];
+    node->backward_fn = [](Node &self) {
+        auto &ga = self.parents[0]->grad;
+        auto &gb = self.parents[1]->grad;
+        const auto &av = self.parents[0]->value;
+        const auto &bv = self.parents[1]->value;
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            ga[i] += self.grad[i] * bv[i];
+            gb[i] += self.grad[i] * av[i];
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+scale(const Tensor &x, float factor)
+{
+    auto node = makeNode(x.shape(), {x.node()});
+    const auto &xv = x.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = xv[i] * factor;
+    node->backward_fn = [factor](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (size_t i = 0; i < self.grad.size(); ++i)
+            gx[i] += self.grad[i] * factor;
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    TLP_CHECK(a.shape().size() == 2 && b.shape().size() == 2,
+              "matmul expects rank-2 inputs");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    TLP_CHECK(b.dim(0) == k, "matmul contraction mismatch");
+    auto node = makeNode({static_cast<int>(m), static_cast<int>(n)},
+                         {a.node(), b.node()});
+    const float *av = a.value().data();
+    const float *bv = b.value().data();
+    float *cv = node->value.data();
+    std::fill(node->value.begin(), node->value.end(), 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float aval = av[i * k + p];
+            const float *brow = bv + p * n;
+            float *crow = cv + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aval * brow[j];
+        }
+    }
+    node->backward_fn = [m, k, n](Node &self) {
+        const float *av = self.parents[0]->value.data();
+        const float *bv = self.parents[1]->value.data();
+        float *ga = self.parents[0]->grad.data();
+        float *gb = self.parents[1]->grad.data();
+        const float *gc = self.grad.data();
+        // dA = dC * B^T
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+                const float *gcrow = gc + i * n;
+                const float *brow = bv + p * n;
+                float acc = 0.0f;
+                for (int64_t j = 0; j < n; ++j)
+                    acc += gcrow[j] * brow[j];
+                ga[i * k + p] += acc;
+            }
+        }
+        // dB = A^T * dC
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+                const float aval = av[i * k + p];
+                const float *gcrow = gc + i * n;
+                float *gbrow = gb + p * n;
+                for (int64_t j = 0; j < n; ++j)
+                    gbrow[j] += aval * gcrow[j];
+            }
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+bmm(const Tensor &a, const Tensor &b)
+{
+    TLP_CHECK(a.shape().size() == 3 && b.shape().size() == 3,
+              "bmm expects rank-3 inputs");
+    const int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2),
+                  n = b.dim(2);
+    TLP_CHECK(b.dim(0) == batch && b.dim(1) == k, "bmm shape mismatch");
+    auto node = makeNode({static_cast<int>(batch), static_cast<int>(m),
+                          static_cast<int>(n)},
+                         {a.node(), b.node()});
+    std::fill(node->value.begin(), node->value.end(), 0.0f);
+    const float *av = a.value().data();
+    const float *bv = b.value().data();
+    float *cv = node->value.data();
+    for (int64_t s = 0; s < batch; ++s) {
+        const float *as = av + s * m * k;
+        const float *bs = bv + s * k * n;
+        float *cs = cv + s * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+                const float aval = as[i * k + p];
+                const float *brow = bs + p * n;
+                float *crow = cs + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += aval * brow[j];
+            }
+        }
+    }
+    node->backward_fn = [batch, m, k, n](Node &self) {
+        const float *av = self.parents[0]->value.data();
+        const float *bv = self.parents[1]->value.data();
+        float *ga = self.parents[0]->grad.data();
+        float *gb = self.parents[1]->grad.data();
+        const float *gc = self.grad.data();
+        for (int64_t s = 0; s < batch; ++s) {
+            const float *as = av + s * m * k;
+            const float *bs = bv + s * k * n;
+            float *gas = ga + s * m * k;
+            float *gbs = gb + s * k * n;
+            const float *gcs = gc + s * m * n;
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t p = 0; p < k; ++p) {
+                    const float *gcrow = gcs + i * n;
+                    const float *brow = bs + p * n;
+                    float acc = 0.0f;
+                    for (int64_t j = 0; j < n; ++j)
+                        acc += gcrow[j] * brow[j];
+                    gas[i * k + p] += acc;
+                }
+            }
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t p = 0; p < k; ++p) {
+                    const float aval = as[i * k + p];
+                    const float *gcrow = gcs + i * n;
+                    float *gbrow = gbs + p * n;
+                    for (int64_t j = 0; j < n; ++j)
+                        gbrow[j] += aval * gcrow[j];
+                }
+            }
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    auto node = makeNode(x.shape(), {x.node()});
+    const auto &xv = x.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+    node->backward_fn = [](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        const auto &xv = self.parents[0]->value;
+        for (size_t i = 0; i < self.grad.size(); ++i)
+            gx[i] += xv[i] > 0.0f ? self.grad[i] : 0.0f;
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+tanhT(const Tensor &x)
+{
+    auto node = makeNode(x.shape(), {x.node()});
+    const auto &xv = x.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = std::tanh(xv[i]);
+    node->backward_fn = [](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            const float y = self.value[i];
+            gx[i] += self.grad[i] * (1.0f - y * y);
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+sigmoidT(const Tensor &x)
+{
+    auto node = makeNode(x.shape(), {x.node()});
+    const auto &xv = x.value();
+    for (size_t i = 0; i < node->value.size(); ++i)
+        node->value[i] = 1.0f / (1.0f + std::exp(-xv[i]));
+    node->backward_fn = [](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            const float y = self.value[i];
+            gx[i] += self.grad[i] * y * (1.0f - y);
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+softmaxLastDim(const Tensor &x)
+{
+    const auto [rows, cols] = rowsCols(x.shape());
+    auto node = makeNode(x.shape(), {x.node()});
+    const auto &xv = x.value();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *in = xv.data() + r * cols;
+        float *out = node->value.data() + r * cols;
+        float max_v = in[0];
+        for (int64_t c = 1; c < cols; ++c)
+            max_v = std::max(max_v, in[c]);
+        float sum = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+            out[c] = std::exp(in[c] - max_v);
+            sum += out[c];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t c = 0; c < cols; ++c)
+            out[c] *= inv;
+    }
+    const int64_t rows_c = rows, cols_c = cols;
+    node->backward_fn = [rows_c, cols_c](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t r = 0; r < rows_c; ++r) {
+            const float *y = self.value.data() + r * cols_c;
+            const float *gy = self.grad.data() + r * cols_c;
+            float dot = 0.0f;
+            for (int64_t c = 0; c < cols_c; ++c)
+                dot += y[c] * gy[c];
+            float *g = gx.data() + r * cols_c;
+            for (int64_t c = 0; c < cols_c; ++c)
+                g[c] += y[c] * (gy[c] - dot);
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+softmaxLastDimCausal(const Tensor &x)
+{
+    const auto &shape = x.shape();
+    TLP_CHECK(shape.size() >= 2 &&
+                  shape.back() == shape[shape.size() - 2],
+              "causal softmax needs square trailing dims");
+    const int64_t l = shape.back();
+    const auto [rows, cols] = rowsCols(shape);
+    auto node = makeNode(shape, {x.node()});
+    const auto &xv = x.value();
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t allowed = (r % l) + 1;   // row index within block
+        const float *in = xv.data() + r * cols;
+        float *out = node->value.data() + r * cols;
+        float max_v = in[0];
+        for (int64_t c = 1; c < allowed; ++c)
+            max_v = std::max(max_v, in[c]);
+        float sum = 0.0f;
+        for (int64_t c = 0; c < allowed; ++c) {
+            out[c] = std::exp(in[c] - max_v);
+            sum += out[c];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t c = 0; c < allowed; ++c)
+            out[c] *= inv;
+        for (int64_t c = allowed; c < cols; ++c)
+            out[c] = 0.0f;
+    }
+    const int64_t rows_c = rows, cols_c = cols;
+    node->backward_fn = [rows_c, cols_c](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t r = 0; r < rows_c; ++r) {
+            const float *y = self.value.data() + r * cols_c;
+            const float *gy = self.grad.data() + r * cols_c;
+            float dot = 0.0f;
+            for (int64_t c = 0; c < cols_c; ++c)
+                dot += y[c] * gy[c];
+            float *g = gx.data() + r * cols_c;
+            // masked positions have y == 0 and receive no gradient
+            for (int64_t c = 0; c < cols_c; ++c)
+                g[c] += y[c] * (gy[c] - dot);
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+transposeLast2(const Tensor &x)
+{
+    const auto &shape = x.shape();
+    TLP_CHECK(shape.size() >= 2, "transpose needs rank >= 2");
+    std::vector<int> out_shape = shape;
+    std::swap(out_shape[out_shape.size() - 1],
+              out_shape[out_shape.size() - 2]);
+    const int64_t rows = shape[shape.size() - 2];
+    const int64_t cols = shape[shape.size() - 1];
+    const int64_t batch = shapeNumel(shape) / (rows * cols);
+
+    auto node = makeNode(out_shape, {x.node()});
+    const auto &xv = x.value();
+    for (int64_t s = 0; s < batch; ++s) {
+        const float *in = xv.data() + s * rows * cols;
+        float *out = node->value.data() + s * rows * cols;
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t c = 0; c < cols; ++c)
+                out[c * rows + r] = in[r * cols + c];
+    }
+    node->backward_fn = [batch, rows, cols](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t s = 0; s < batch; ++s) {
+            const float *gout = self.grad.data() + s * rows * cols;
+            float *gin = gx.data() + s * rows * cols;
+            for (int64_t r = 0; r < rows; ++r)
+                for (int64_t c = 0; c < cols; ++c)
+                    gin[r * cols + c] += gout[c * rows + r];
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+permute0213(const Tensor &x)
+{
+    const auto &shape = x.shape();
+    TLP_CHECK(shape.size() == 4, "permute0213 needs rank 4");
+    const int64_t a = shape[0], b = shape[1], c = shape[2], d = shape[3];
+    auto node = makeNode({shape[0], shape[2], shape[1], shape[3]},
+                         {x.node()});
+    const auto &xv = x.value();
+    for (int64_t ia = 0; ia < a; ++ia)
+        for (int64_t ib = 0; ib < b; ++ib)
+            for (int64_t ic = 0; ic < c; ++ic) {
+                const float *in = xv.data() + ((ia * b + ib) * c + ic) * d;
+                float *out = node->value.data() +
+                             ((ia * c + ic) * b + ib) * d;
+                std::copy(in, in + d, out);
+            }
+    node->backward_fn = [a, b, c, d](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t ia = 0; ia < a; ++ia)
+            for (int64_t ib = 0; ib < b; ++ib)
+                for (int64_t ic = 0; ic < c; ++ic) {
+                    float *gin =
+                        gx.data() + ((ia * b + ib) * c + ic) * d;
+                    const float *gout = self.grad.data() +
+                                        ((ia * c + ic) * b + ib) * d;
+                    for (int64_t id = 0; id < d; ++id)
+                        gin[id] += gout[id];
+                }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+reshape(const Tensor &x, const std::vector<int> &shape)
+{
+    TLP_CHECK(shapeNumel(shape) == x.numel(),
+              "reshape changes element count");
+    auto node = makeNode(shape, {x.node()});
+    node->value = x.value();
+    node->backward_fn = [](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (size_t i = 0; i < self.grad.size(); ++i)
+            gx[i] += self.grad[i];
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+sumAll(const Tensor &x)
+{
+    auto node = makeNode({1}, {x.node()});
+    float sum = 0.0f;
+    for (float v : x.value())
+        sum += v;
+    node->value[0] = sum;
+    node->backward_fn = [](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        const float g = self.grad[0];
+        for (auto &v : gx)
+            v += g;
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+meanAll(const Tensor &x)
+{
+    return scale(sumAll(x), 1.0f / static_cast<float>(x.numel()));
+}
+
+Tensor
+sumAxis1(const Tensor &x)
+{
+    TLP_CHECK(x.shape().size() == 2, "sumAxis1 needs rank 2");
+    const int64_t n = x.dim(0), m = x.dim(1);
+    auto node = makeNode({static_cast<int>(n)}, {x.node()});
+    const auto &xv = x.value();
+    for (int64_t r = 0; r < n; ++r) {
+        float sum = 0.0f;
+        for (int64_t c = 0; c < m; ++c)
+            sum += xv[static_cast<size_t>(r * m + c)];
+        node->value[static_cast<size_t>(r)] = sum;
+    }
+    node->backward_fn = [n, m](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t r = 0; r < n; ++r) {
+            const float g = self.grad[static_cast<size_t>(r)];
+            for (int64_t c = 0; c < m; ++c)
+                gx[static_cast<size_t>(r * m + c)] += g;
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+selectAxis1(const Tensor &x, int t)
+{
+    TLP_CHECK(x.shape().size() == 3, "selectAxis1 needs rank 3");
+    const int64_t n = x.dim(0), l = x.dim(1), d = x.dim(2);
+    TLP_CHECK(t >= 0 && t < l, "bad time index");
+    auto node = makeNode({static_cast<int>(n), static_cast<int>(d)},
+                         {x.node()});
+    const auto &xv = x.value();
+    for (int64_t r = 0; r < n; ++r) {
+        const float *in = xv.data() + (r * l + t) * d;
+        std::copy(in, in + d, node->value.data() + r * d);
+    }
+    node->backward_fn = [n, l, d, t](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t r = 0; r < n; ++r) {
+            float *gin = gx.data() + (r * l + t) * d;
+            const float *gout = self.grad.data() + r * d;
+            for (int64_t c = 0; c < d; ++c)
+                gin[c] += gout[c];
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+stackAxis1(const std::vector<Tensor> &slices)
+{
+    TLP_CHECK(!slices.empty(), "stackAxis1 of nothing");
+    const int64_t n = slices[0].dim(0), d = slices[0].dim(1);
+    const int64_t l = static_cast<int64_t>(slices.size());
+    std::vector<std::shared_ptr<Node>> parents;
+    for (const auto &slice : slices) {
+        TLP_CHECK(slice.dim(0) == n && slice.dim(1) == d,
+                  "stack slice shape mismatch");
+        parents.push_back(slice.node());
+    }
+    auto node = makeNode({static_cast<int>(n), static_cast<int>(l),
+                          static_cast<int>(d)},
+                         std::move(parents));
+    for (int64_t t = 0; t < l; ++t) {
+        const auto &sv = node->parents[static_cast<size_t>(t)]->value;
+        for (int64_t r = 0; r < n; ++r) {
+            std::copy(sv.data() + r * d, sv.data() + (r + 1) * d,
+                      node->value.data() + (r * l + t) * d);
+        }
+    }
+    node->backward_fn = [n, l, d](Node &self) {
+        for (int64_t t = 0; t < l; ++t) {
+            auto &gs = self.parents[static_cast<size_t>(t)]->grad;
+            for (int64_t r = 0; r < n; ++r) {
+                const float *gout = self.grad.data() + (r * l + t) * d;
+                float *gin = gs.data() + r * d;
+                for (int64_t c = 0; c < d; ++c)
+                    gin[c] += gout[c];
+            }
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+sliceCols(const Tensor &x, int start, int len)
+{
+    TLP_CHECK(x.shape().size() == 2, "sliceCols needs rank 2");
+    const int64_t n = x.dim(0), m = x.dim(1);
+    TLP_CHECK(start >= 0 && start + len <= m, "bad column slice");
+    auto node = makeNode({static_cast<int>(n), len}, {x.node()});
+    const auto &xv = x.value();
+    for (int64_t r = 0; r < n; ++r) {
+        std::copy(xv.data() + r * m + start,
+                  xv.data() + r * m + start + len,
+                  node->value.data() + r * len);
+    }
+    node->backward_fn = [n, m, start, len](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (int64_t r = 0; r < n; ++r) {
+            const float *gout = self.grad.data() + r * len;
+            float *gin = gx.data() + r * m + start;
+            for (int64_t c = 0; c < len; ++c)
+                gin[c] += gout[c];
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+dropout(const Tensor &x, double p, Rng &rng, bool training)
+{
+    if (!training || p <= 0.0)
+        return x;
+    auto node = makeNode(x.shape(), {x.node()});
+    auto mask = std::make_shared<std::vector<float>>(x.value().size());
+    const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+    const auto &xv = x.value();
+    for (size_t i = 0; i < xv.size(); ++i) {
+        (*mask)[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
+        node->value[i] = xv[i] * (*mask)[i];
+    }
+    node->backward_fn = [mask](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        for (size_t i = 0; i < self.grad.size(); ++i)
+            gx[i] += self.grad[i] * (*mask)[i];
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps)
+{
+    const auto [rows, cols] = rowsCols(x.shape());
+    TLP_CHECK(gamma.numel() == cols && beta.numel() == cols,
+              "layer-norm affine width mismatch");
+    auto node = makeNode(x.shape(), {x.node(), gamma.node(), beta.node()});
+    auto stats = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(rows * 2));   // (mean, inv_std) per row
+    const auto &xv = x.value();
+    const auto &gv = gamma.value();
+    const auto &bv = beta.value();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *in = xv.data() + r * cols;
+        float mean = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            mean += in[c];
+        mean /= static_cast<float>(cols);
+        float var = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+            const float d = in[c] - mean;
+            var += d * d;
+        }
+        var /= static_cast<float>(cols);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        (*stats)[static_cast<size_t>(2 * r)] = mean;
+        (*stats)[static_cast<size_t>(2 * r + 1)] = inv_std;
+        float *out = node->value.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            out[c] = (in[c] - mean) * inv_std * gv[static_cast<size_t>(c)] +
+                     bv[static_cast<size_t>(c)];
+        }
+    }
+    const int64_t rows_c = rows, cols_c = cols;
+    node->backward_fn = [rows_c, cols_c, stats](Node &self) {
+        auto &gx = self.parents[0]->grad;
+        auto &gg = self.parents[1]->grad;
+        auto &gb = self.parents[2]->grad;
+        const auto &xv = self.parents[0]->value;
+        const auto &gv = self.parents[1]->value;
+        for (int64_t r = 0; r < rows_c; ++r) {
+            const float mean = (*stats)[static_cast<size_t>(2 * r)];
+            const float inv_std = (*stats)[static_cast<size_t>(2 * r + 1)];
+            const float *in = xv.data() + r * cols_c;
+            const float *gy = self.grad.data() + r * cols_c;
+            // accumulate gamma/beta grads and the two reduction terms
+            float sum_gyg = 0.0f, sum_gygx = 0.0f;
+            for (int64_t c = 0; c < cols_c; ++c) {
+                const float xhat = (in[c] - mean) * inv_std;
+                gg[static_cast<size_t>(c)] += gy[c] * xhat;
+                gb[static_cast<size_t>(c)] += gy[c];
+                const float gyg = gy[c] * gv[static_cast<size_t>(c)];
+                sum_gyg += gyg;
+                sum_gygx += gyg * xhat;
+            }
+            float *g = gx.data() + r * cols_c;
+            const float inv_n = 1.0f / static_cast<float>(cols_c);
+            for (int64_t c = 0; c < cols_c; ++c) {
+                const float xhat = (in[c] - mean) * inv_std;
+                const float gyg = gy[c] * gv[static_cast<size_t>(c)];
+                g[c] += inv_std *
+                        (gyg - inv_n * (sum_gyg + xhat * sum_gygx));
+            }
+        }
+    };
+    return Tensor::fromNode(std::move(node));
+}
+
+} // namespace tlp::nn

@@ -1,0 +1,71 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace tlp::nn {
+
+Adam::Adam(std::vector<Tensor> params, AdamOptions options)
+    : params_(std::move(params)), options_(options)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Tensor &param : params_) {
+        m_.emplace_back(static_cast<size_t>(param.numel()), 0.0f);
+        v_.emplace_back(static_cast<size_t>(param.numel()), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bias1 = 1.0 - std::pow(options_.beta1,
+                                        static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(options_.beta2,
+                                        static_cast<double>(t_));
+
+    // Optional global-norm gradient clipping.
+    double clip_scale = 1.0;
+    if (options_.grad_clip > 0.0) {
+        double norm_sq = 0.0;
+        for (Tensor &param : params_)
+            for (float g : param.grad())
+                norm_sq += static_cast<double>(g) * g;
+        const double norm = std::sqrt(norm_sq);
+        if (norm > options_.grad_clip)
+            clip_scale = options_.grad_clip / norm;
+    }
+
+    for (size_t p = 0; p < params_.size(); ++p) {
+        auto &value = params_[p].value();
+        auto &grad = params_[p].grad();
+        auto &m = m_[p];
+        auto &v = v_[p];
+        for (size_t i = 0; i < value.size(); ++i) {
+            double g = static_cast<double>(grad[i]) * clip_scale;
+            if (options_.weight_decay > 0.0)
+                value[i] -= static_cast<float>(options_.lr *
+                                               options_.weight_decay *
+                                               value[i]);
+            m[i] = static_cast<float>(options_.beta1 * m[i] +
+                                      (1.0 - options_.beta1) * g);
+            v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                      (1.0 - options_.beta2) * g * g);
+            const double m_hat = m[i] / bias1;
+            const double v_hat = v[i] / bias2;
+            value[i] -= static_cast<float>(
+                options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps));
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Tensor &param : params_) {
+        auto &grad = param.grad();
+        std::fill(grad.begin(), grad.end(), 0.0f);
+    }
+}
+
+} // namespace tlp::nn

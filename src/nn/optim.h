@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Adam optimizer with decoupled weight decay.
+ */
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace tlp::nn {
+
+/** Adam hyper-parameters. */
+struct AdamOptions
+{
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+    double grad_clip = 5.0;   ///< global-norm clip (0 disables)
+};
+
+/** Adam over a fixed parameter list. */
+class Adam
+{
+  public:
+    Adam(std::vector<Tensor> params, AdamOptions options = {});
+
+    /** One update using the parameters' accumulated gradients. */
+    void step();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    /** Adjust the learning rate (for simple schedules). */
+    void setLr(double lr) { options_.lr = lr; }
+    double lr() const { return options_.lr; }
+
+  private:
+    std::vector<Tensor> params_;
+    AdamOptions options_;
+    std::vector<std::vector<float>> m_, v_;
+    int64_t t_ = 0;
+};
+
+} // namespace tlp::nn

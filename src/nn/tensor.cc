@@ -1,0 +1,158 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tlp::nn {
+
+int64_t
+shapeNumel(const std::vector<int> &shape)
+{
+    int64_t count = 1;
+    for (int extent : shape) {
+        TLP_CHECK(extent > 0, "non-positive tensor extent");
+        count *= extent;
+    }
+    return count;
+}
+
+void
+Node::ensureGrad()
+{
+    if (grad.size() != value.size())
+        grad.assign(value.size(), 0.0f);
+}
+
+const std::vector<int> &
+Tensor::shape() const
+{
+    TLP_CHECK(node_, "undefined tensor");
+    return node_->shape;
+}
+
+int64_t
+Tensor::numel() const
+{
+    TLP_CHECK(node_, "undefined tensor");
+    return node_->numel();
+}
+
+int
+Tensor::dim(int axis) const
+{
+    const auto &s = shape();
+    TLP_CHECK(axis >= 0 && axis < static_cast<int>(s.size()),
+              "bad axis ", axis);
+    return s[static_cast<size_t>(axis)];
+}
+
+std::vector<float> &
+Tensor::value()
+{
+    TLP_CHECK(node_, "undefined tensor");
+    return node_->value;
+}
+
+const std::vector<float> &
+Tensor::value() const
+{
+    TLP_CHECK(node_, "undefined tensor");
+    return node_->value;
+}
+
+std::vector<float> &
+Tensor::grad()
+{
+    TLP_CHECK(node_, "undefined tensor");
+    node_->ensureGrad();
+    return node_->grad;
+}
+
+bool
+Tensor::requiresGrad() const
+{
+    TLP_CHECK(node_, "undefined tensor");
+    return node_->requires_grad;
+}
+
+void
+Tensor::backward()
+{
+    TLP_CHECK(node_, "undefined tensor");
+    TLP_CHECK(node_->numel() == 1, "backward() needs a scalar loss");
+
+    // Topological order via iterative DFS.
+    std::vector<Node *> order;
+    std::unordered_set<Node *> visited;
+    std::vector<std::pair<Node *, size_t>> stack;
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < node->parents.size()) {
+            Node *parent = node->parents[child++].get();
+            if (visited.insert(parent).second)
+                stack.push_back({parent, 0});
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    node_->ensureGrad();
+    node_->grad[0] = 1.0f;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = *it;
+        if (node->backward_fn) {
+            for (auto &parent : node->parents)
+                parent->ensureGrad();
+            node->backward_fn(*node);
+        }
+    }
+}
+
+Tensor
+Tensor::zeros(const std::vector<int> &shape, bool requires_grad)
+{
+    auto node = std::make_shared<Node>();
+    node->shape = shape;
+    node->value.assign(static_cast<size_t>(shapeNumel(shape)), 0.0f);
+    node->requires_grad = requires_grad;
+    return fromNode(std::move(node));
+}
+
+Tensor
+Tensor::fromData(const std::vector<int> &shape, std::vector<float> data,
+                 bool requires_grad)
+{
+    TLP_CHECK(static_cast<int64_t>(data.size()) == shapeNumel(shape),
+              "data size does not match shape");
+    auto node = std::make_shared<Node>();
+    node->shape = shape;
+    node->value = std::move(data);
+    node->requires_grad = requires_grad;
+    return fromNode(std::move(node));
+}
+
+Tensor
+Tensor::randn(const std::vector<int> &shape, Rng &rng, double stddev,
+              bool requires_grad)
+{
+    auto node = std::make_shared<Node>();
+    node->shape = shape;
+    node->value.resize(static_cast<size_t>(shapeNumel(shape)));
+    for (auto &v : node->value)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    node->requires_grad = requires_grad;
+    return fromNode(std::move(node));
+}
+
+Tensor
+Tensor::fromNode(std::shared_ptr<Node> node)
+{
+    Tensor tensor;
+    tensor.node_ = std::move(node);
+    return tensor;
+}
+
+} // namespace tlp::nn

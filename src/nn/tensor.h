@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A small tape-based autograd tensor.
+ *
+ * Tensors are dense float32 arrays with dynamic shapes. Operations (see
+ * ops.h) eagerly compute values and record a backward closure; calling
+ * backward() on a scalar tensor topologically sorts the recorded graph
+ * and accumulates gradients into every node with requires_grad set.
+ *
+ * The library is deliberately minimal — just enough to train the TLP /
+ * MTL-TLP architectures (linear layers, multi-head self-attention, LSTM,
+ * residual MLP blocks) on CPU — and fully deterministic given an Rng.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace tlp::nn {
+
+/** Autograd graph node backing a Tensor. */
+struct Node
+{
+    std::vector<int> shape;
+    std::vector<float> value;
+    std::vector<float> grad;     ///< allocated lazily at backward time
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    /** Accumulates this node's grad into its parents' grads. */
+    std::function<void(Node &)> backward_fn;
+
+    int64_t numel() const { return static_cast<int64_t>(value.size()); }
+
+    /** Ensure the grad buffer exists (zero-filled). */
+    void ensureGrad();
+};
+
+/** Handle to an autograd node. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** True when this handle points at a node. */
+    bool defined() const { return node_ != nullptr; }
+
+    const std::vector<int> &shape() const;
+    int64_t numel() const;
+    int dim(int axis) const;
+
+    std::vector<float> &value();
+    const std::vector<float> &value() const;
+    std::vector<float> &grad();
+
+    bool requiresGrad() const;
+
+    /** Run reverse-mode autodiff from this (scalar) tensor. */
+    void backward();
+
+    std::shared_ptr<Node> node() const { return node_; }
+
+    // --- constructors ---
+
+    /** All-zeros tensor. */
+    static Tensor zeros(const std::vector<int> &shape,
+                        bool requires_grad = false);
+
+    /** Tensor wrapping explicit data. */
+    static Tensor fromData(const std::vector<int> &shape,
+                           std::vector<float> data,
+                           bool requires_grad = false);
+
+    /** Gaussian-initialized tensor (mean 0, given stddev). */
+    static Tensor randn(const std::vector<int> &shape, Rng &rng,
+                        double stddev, bool requires_grad = true);
+
+    /** Wrap an existing node. */
+    static Tensor fromNode(std::shared_ptr<Node> node);
+
+  private:
+    std::shared_ptr<Node> node_;
+};
+
+/** Number of elements implied by @p shape. */
+int64_t shapeNumel(const std::vector<int> &shape);
+
+} // namespace tlp::nn

@@ -1,0 +1,176 @@
+#include "schedule/lower.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tlp::sched {
+
+std::vector<int64_t>
+LoweredStage::tileExtentsBelow(int loop_index) const
+{
+    std::vector<int64_t> tiles(spec.iters.size(), 1);
+    for (size_t q = static_cast<size_t>(loop_index + 1); q < loops.size();
+         ++q) {
+        for (const auto &[orig, extent] : loops[q].coverage) {
+            if (orig >= 0 && orig < static_cast<int>(tiles.size()))
+                tiles[static_cast<size_t>(orig)] *= extent;
+        }
+    }
+    // Clamp: coverage may overcount on non-divisible splits.
+    for (size_t i = 0; i < tiles.size(); ++i)
+        tiles[i] = std::min(tiles[i], spec.iters[i].extent);
+    return tiles;
+}
+
+int64_t
+LoweredStage::iterationsDownTo(int loop_index) const
+{
+    int64_t total = 1;
+    for (int q = 0; q <= loop_index && q < static_cast<int>(loops.size());
+         ++q) {
+        total *= loops[static_cast<size_t>(q)].extent;
+    }
+    return total;
+}
+
+int64_t
+LoweredStage::totalIterations() const
+{
+    return iterationsDownTo(static_cast<int>(loops.size()) - 1);
+}
+
+std::string
+LoweredStage::resolveBuffer(const std::string &buffer) const
+{
+    auto it = redirects.find(buffer);
+    return it == redirects.end() ? buffer : it->second;
+}
+
+std::vector<std::pair<int, int>>
+LoweredNest::attachedTo(int stage_index) const
+{
+    std::vector<std::pair<int, int>> attached;
+    for (const LoweredStage &stage : stages) {
+        if (stage.loc == ComputeLoc::At && stage.at_stage == stage_index)
+            attached.push_back({stage.index, stage.at_iter});
+    }
+    return attached;
+}
+
+LoweredNest
+lower(const State &state)
+{
+    LoweredNest nest;
+    nest.subgraph = state.subgraph();
+    nest.is_gpu = state.isGpu();
+    nest.stages.reserve(static_cast<size_t>(state.numStages()));
+    for (int i = 0; i < state.numStages(); ++i) {
+        const Stage &src = state.stage(i);
+        LoweredStage dst;
+        dst.index = i;
+        dst.name = src.name;
+        dst.op_index = src.op_index;
+        dst.is_placeholder = src.is_placeholder;
+        dst.is_cache_stage = src.is_cache_stage;
+        dst.loc = src.loc;
+        dst.at_stage = src.at_stage;
+        dst.at_iter = src.at_iter;
+        dst.spec = src.spec;
+        dst.redirects = src.redirects;
+        dst.pragma_unroll = src.pragma_unroll;
+        dst.storage_align = src.storage_align;
+        dst.loops.reserve(src.iters.size());
+        for (const Iterator &iter : src.iters) {
+            LoweredLoop loop;
+            loop.name = iter.name;
+            loop.extent = iter.extent;
+            loop.is_reduction = iter.is_reduction;
+            loop.ann = iter.ann;
+            loop.coverage = iter.coverage;
+            dst.loops.push_back(std::move(loop));
+        }
+        nest.stages.push_back(std::move(dst));
+    }
+    return nest;
+}
+
+namespace {
+
+std::string
+annPrefix(Annotation ann)
+{
+    switch (ann) {
+      case Annotation::None:      return "for";
+      case Annotation::Parallel:  return "parallel for";
+      case Annotation::Vectorize: return "vectorized for";
+      case Annotation::Unroll:    return "unrolled for";
+      case Annotation::BlockX:    return "for<blockIdx.x>";
+      case Annotation::ThreadX:   return "for<threadIdx.x>";
+      case Annotation::VThread:   return "for<vthread>";
+    }
+    return "for";
+}
+
+void
+printStage(const LoweredNest &nest, int stage_index, int depth,
+           std::ostringstream &os)
+{
+    const LoweredStage &stage =
+        nest.stages[static_cast<size_t>(stage_index)];
+    auto indent = [&](int d) { return std::string(static_cast<size_t>(d) * 2, ' '); };
+
+    if (stage.pragma_unroll > 0) {
+        os << indent(depth) << "#pragma auto_unroll_max_step="
+           << stage.pragma_unroll << '\n';
+    }
+
+    const auto attached = nest.attachedTo(stage_index);
+    for (size_t q = 0; q < stage.loops.size(); ++q) {
+        const LoweredLoop &loop = stage.loops[q];
+        os << indent(depth) << annPrefix(loop.ann) << ' ' << loop.name
+           << " in 0.." << loop.extent << ":\n";
+        ++depth;
+        for (const auto &[child, at_iter] : attached) {
+            if (at_iter == static_cast<int>(q))
+                printStage(nest, child, depth, os);
+        }
+    }
+
+    // Body statement.
+    os << indent(depth) << stage.name << '[';
+    bool first_read = true;
+    std::string reads;
+    for (const auto &access : stage.spec.accesses) {
+        if (access.is_write)
+            continue;
+        if (!first_read)
+            reads += ", ";
+        reads += stage.resolveBuffer(access.buffer) + "[...]";
+        first_read = false;
+    }
+    os << "...] = f(" << reads << ")\n";
+}
+
+} // namespace
+
+std::string
+LoweredNest::prettyPrint() const
+{
+    std::ostringstream os;
+    os << "// subgraph " << subgraph->key() << (is_gpu ? " (gpu)" : " (cpu)")
+       << '\n';
+    for (const LoweredStage &stage : stages) {
+        if (stage.is_placeholder)
+            continue;
+        if (stage.loc == ComputeLoc::Inlined) {
+            os << "// " << stage.name << ": inlined\n";
+            continue;
+        }
+        if (stage.loc == ComputeLoc::At)
+            continue;   // printed inside its target
+        printStage(*this, stage.index, 0, os);
+    }
+    return os.str();
+}
+
+} // namespace tlp::sched

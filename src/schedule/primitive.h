@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Schedule primitives — the "tensor language" of the TLP paper.
+ *
+ * A schedule is an ordered sequence of primitives applied to the naive
+ * loop program of a subgraph. Each primitive is a primitive type plus an
+ * ordered list of parameters, where every parameter is either a number or
+ * a name (character parameter). This is exactly the abstract grammar of
+ * Fig. 4a in the paper:
+ *
+ *   S   ::= p*
+ *   p   ::= tau (id | num)*
+ *   tau ::= split | reorder | fuse | ...
+ *
+ * The 14 primitive kinds mirror Ansor's transform steps; 11 are used on
+ * CPU schedules and 11 on GPU schedules (most are shared).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/serialize.h"
+
+namespace tlp::sched {
+
+/** The primitive vocabulary (Ansor transform-step kinds). */
+enum class PrimKind : uint8_t
+{
+    SP = 0,   ///< split
+    RE,       ///< reorder
+    FU,       ///< fuse
+    FSP,      ///< follow_split
+    FFSP,     ///< follow_fused_split
+    CA,       ///< compute_at
+    CI,       ///< compute_inline
+    CR,       ///< compute_root
+    CHW,      ///< cache_write
+    CHR,      ///< cache_read
+    RF,       ///< rfactor
+    AN,       ///< annotation (parallel / vectorize / unroll / bind)
+    PR,       ///< pragma (auto_unroll_max_step, ...)
+    SA,       ///< storage_align
+    NumKinds
+};
+
+/** Number of distinct primitive kinds. */
+inline constexpr int kNumPrimKinds = static_cast<int>(PrimKind::NumKinds);
+
+/** Paper abbreviation, e.g. "SP". */
+std::string primKindName(PrimKind kind);
+
+/** Long name, e.g. "split". */
+std::string primKindLongName(PrimKind kind);
+
+/** A primitive parameter: a number or a character (name) parameter. */
+using Param = std::variant<int64_t, std::string>;
+
+/** One schedule primitive: type + ordered parameters. */
+struct Primitive
+{
+    PrimKind kind = PrimKind::SP;
+    std::vector<Param> params;
+
+    /** Append a numeric parameter. */
+    void addNum(int64_t value) { params.emplace_back(value); }
+
+    /** Append a character parameter. */
+    void addName(std::string value) { params.emplace_back(std::move(value)); }
+
+    /** Number of parameters (excluding the type). */
+    int numParams() const { return static_cast<int>(params.size()); }
+
+    /** Render e.g. `SP(2, 0, 512, [16, 4], "i")`. */
+    std::string toString() const;
+
+    void serialize(BinaryWriter &writer) const;
+    static Primitive deserialize(BinaryReader &reader);
+
+    bool operator==(const Primitive &other) const = default;
+};
+
+/** A complete schedule: the primitive sequence of one tensor program. */
+struct PrimitiveSeq
+{
+    std::vector<Primitive> prims;
+
+    int size() const { return static_cast<int>(prims.size()); }
+    bool empty() const { return prims.empty(); }
+
+    /** One primitive per line. */
+    std::string toString() const;
+
+    /** Stable content hash (for repetition-rate analysis, Sec. 4.3). */
+    uint64_t hash() const;
+
+    void serialize(BinaryWriter &writer) const;
+    static PrimitiveSeq deserialize(BinaryReader &reader);
+
+    bool operator==(const PrimitiveSeq &other) const = default;
+};
+
+/** Loop annotation kinds attachable via the AN primitive. */
+enum class Annotation : uint8_t
+{
+    None = 0,
+    Parallel,
+    Vectorize,
+    Unroll,
+    BlockX,     ///< GPU blockIdx.x binding
+    ThreadX,    ///< GPU threadIdx.x binding
+    VThread,    ///< GPU virtual-thread binding
+};
+
+/** Name of an annotation, e.g. "parallel". */
+std::string annotationName(Annotation ann);
+
+} // namespace tlp::sched

@@ -1,0 +1,671 @@
+#include "schedule/state.h"
+
+#include <algorithm>
+
+namespace tlp::sched {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Consume @p need points of coverage from the innermost end of @p cov. */
+std::vector<std::pair<int, int64_t>>
+consumeCoverage(std::vector<std::pair<int, int64_t>> &cov, int64_t need)
+{
+    std::vector<std::pair<int, int64_t>> taken;
+    while (need > 1 && !cov.empty()) {
+        auto &[orig, extent] = cov.back();
+        const int64_t take = std::min(extent, need);
+        taken.insert(taken.begin(), {orig, take});
+        if (take >= extent) {
+            cov.pop_back();
+        } else {
+            extent = ceilDiv(extent, take);
+        }
+        need = ceilDiv(need, take);
+    }
+    return taken;
+}
+
+ir::AccessDim
+singleDim(int iter, int64_t coef = 1)
+{
+    ir::AccessDim dim;
+    dim.terms.push_back({iter, coef});
+    return dim;
+}
+
+} // namespace
+
+int64_t
+Stage::totalExtent() const
+{
+    int64_t total = 1;
+    for (const Iterator &iter : iters)
+        total *= iter.extent;
+    return total;
+}
+
+State::State(ir::SubgraphPtr subgraph, bool is_gpu)
+    : subgraph_(std::move(subgraph)), is_gpu_(is_gpu)
+{
+    TLP_CHECK(subgraph_ != nullptr, "null subgraph");
+    const auto &ops = subgraph_->ops();
+    stages_.reserve(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        Stage stage;
+        stage.op_index = static_cast<int>(i);
+        stage.name = ir::bufferName(*subgraph_, static_cast<int>(i));
+        stage.out_buffer = stage.name;
+        stage.is_placeholder = ops[i].kind == ir::OpKind::Input ||
+                               ops[i].kind == ir::OpKind::Constant;
+        if (!stage.is_placeholder) {
+            stage.spec = ir::describeLoops(*subgraph_, static_cast<int>(i));
+            for (size_t j = 0; j < stage.spec.iters.size(); ++j) {
+                const ir::IterSpec &spec_iter = stage.spec.iters[j];
+                Iterator iter;
+                iter.name = spec_iter.name;
+                iter.extent = spec_iter.extent;
+                iter.is_reduction = spec_iter.is_reduction;
+                iter.coverage = {{static_cast<int>(j), spec_iter.extent}};
+                stage.iters.push_back(std::move(iter));
+            }
+        }
+        stages_.push_back(std::move(stage));
+    }
+}
+
+const Stage &
+State::stage(int index) const
+{
+    TLP_CHECK(index >= 0 && index < numStages(), "bad stage index ", index);
+    return stages_[static_cast<size_t>(index)];
+}
+
+Stage &
+State::mutableStage(int index)
+{
+    TLP_CHECK(index >= 0 && index < numStages(), "bad stage index ", index);
+    return stages_[static_cast<size_t>(index)];
+}
+
+Iterator &
+State::mutableIter(int stage_idx, int iter_idx)
+{
+    Stage &st = mutableStage(stage_idx);
+    TLP_CHECK(iter_idx >= 0 &&
+                  iter_idx < static_cast<int>(st.iters.size()),
+              "bad iterator index ", iter_idx, " in stage ", st.name);
+    return st.iters[static_cast<size_t>(iter_idx)];
+}
+
+int
+State::stageWriting(const std::string &buffer) const
+{
+    for (int i = numStages() - 1; i >= 0; --i)
+        if (stages_[static_cast<size_t>(i)].out_buffer == buffer)
+            return i;
+    return -1;
+}
+
+int
+State::doSplit(int stage_idx, int iter_idx,
+               const std::vector<int64_t> &lengths)
+{
+    TLP_CHECK(!lengths.empty(), "split needs at least one length");
+    Stage &st = mutableStage(stage_idx);
+    Iterator original = st.iters.at(static_cast<size_t>(iter_idx));
+
+    int64_t inner_prod = 1;
+    for (int64_t len : lengths) {
+        TLP_CHECK(len > 0, "split length must be positive");
+        inner_prod *= len;
+    }
+    const int64_t outer_extent = ceilDiv(original.extent, inner_prod);
+
+    // Build parts inner-first so coverage can be consumed innermost-out.
+    const size_t k = lengths.size();
+    std::vector<Iterator> parts(k + 1);
+    auto cov = original.coverage;
+    for (size_t j = k; j >= 1; --j) {
+        Iterator &part = parts[j];
+        part.name = original.name + "." + std::to_string(j);
+        part.extent = lengths[j - 1];
+        part.is_reduction = original.is_reduction;
+        part.coverage = consumeCoverage(cov, lengths[j - 1]);
+        if (j == 1)
+            break;
+    }
+    Iterator &outer = parts[0];
+    outer.name = original.name + ".0";
+    outer.extent = outer_extent;
+    outer.is_reduction = original.is_reduction;
+    outer.coverage = cov;
+
+    st.iters.erase(st.iters.begin() + iter_idx);
+    st.iters.insert(st.iters.begin() + iter_idx, parts.begin(), parts.end());
+    return iter_idx;
+}
+
+int
+State::split(int stage_idx, int iter_idx, const std::vector<int64_t> &lengths)
+{
+    const Stage &st = stage(stage_idx);
+    const Iterator &iter = st.iters.at(static_cast<size_t>(iter_idx));
+
+    Primitive prim;
+    prim.kind = PrimKind::SP;
+    prim.addNum(stage_idx);
+    prim.addNum(iter_idx);
+    prim.addNum(iter.extent);
+    prim.addNum(static_cast<int64_t>(lengths.size()));
+    for (int64_t len : lengths)
+        prim.addNum(len);
+    prim.addName(iter.name);
+    steps_.prims.push_back(std::move(prim));
+
+    return doSplit(stage_idx, iter_idx, lengths);
+}
+
+int
+State::followSplit(int stage_idx, int iter_idx, int src_step, int n_split)
+{
+    TLP_CHECK(src_step >= 0 && src_step < steps_.size(),
+              "bad follow_split source step ", src_step);
+    const Primitive &src = steps_.prims.at(static_cast<size_t>(src_step));
+    TLP_CHECK(src.kind == PrimKind::SP,
+              "follow_split source must be an SP step");
+    const auto count = std::get<int64_t>(src.params.at(3));
+    TLP_CHECK(n_split >= 1 && n_split <= count, "bad n_split ", n_split);
+    // Use the innermost n_split lengths so the follower's inner tiles
+    // match the source stage's inner tiles.
+    std::vector<int64_t> lengths;
+    for (int64_t j = count - n_split; j < count; ++j)
+        lengths.push_back(std::get<int64_t>(src.params.at(4 + j)));
+
+    Primitive prim;
+    prim.kind = PrimKind::FSP;
+    prim.addNum(stage_idx);
+    prim.addNum(iter_idx);
+    prim.addNum(src_step);
+    prim.addNum(n_split);
+    steps_.prims.push_back(std::move(prim));
+
+    return doSplit(stage_idx, iter_idx, lengths);
+}
+
+int
+State::followFusedSplit(int stage_idx, int iter_idx, int src_step,
+                        int n_split)
+{
+    TLP_CHECK(src_step >= 0 && src_step < steps_.size(),
+              "bad follow_fused_split source step ", src_step);
+    const Primitive &src = steps_.prims.at(static_cast<size_t>(src_step));
+    TLP_CHECK(src.kind == PrimKind::SP,
+              "follow_fused_split source must be an SP step");
+    const auto count = std::get<int64_t>(src.params.at(3));
+    TLP_CHECK(n_split >= 1 && n_split <= count, "bad n_split ", n_split);
+    std::vector<int64_t> lengths;
+    for (int64_t j = count - n_split; j < count; ++j)
+        lengths.push_back(std::get<int64_t>(src.params.at(4 + j)));
+
+    Primitive prim;
+    prim.kind = PrimKind::FFSP;
+    prim.addNum(stage_idx);
+    prim.addNum(iter_idx);
+    prim.addNum(src_step);
+    prim.addNum(n_split);
+    steps_.prims.push_back(std::move(prim));
+
+    return doSplit(stage_idx, iter_idx, lengths);
+}
+
+void
+State::reorder(int stage_idx, const std::vector<int> &order)
+{
+    Stage &st = mutableStage(stage_idx);
+    TLP_CHECK(order.size() == st.iters.size(),
+              "reorder must mention every iterator of ", st.name);
+    std::vector<bool> seen(order.size(), false);
+    std::vector<Iterator> reordered;
+    reordered.reserve(order.size());
+    for (int idx : order) {
+        TLP_CHECK(idx >= 0 && idx < static_cast<int>(order.size()) &&
+                      !seen[static_cast<size_t>(idx)],
+                  "reorder is not a permutation");
+        seen[static_cast<size_t>(idx)] = true;
+        reordered.push_back(st.iters[static_cast<size_t>(idx)]);
+    }
+    st.iters = std::move(reordered);
+
+    Primitive prim;
+    prim.kind = PrimKind::RE;
+    prim.addNum(stage_idx);
+    prim.addNum(static_cast<int64_t>(order.size()));
+    for (int idx : order)
+        prim.addNum(idx);
+    steps_.prims.push_back(std::move(prim));
+}
+
+int
+State::fuse(int stage_idx, const std::vector<int> &iters)
+{
+    TLP_CHECK(!iters.empty(), "fuse needs iterators");
+    Stage &st = mutableStage(stage_idx);
+    for (size_t i = 1; i < iters.size(); ++i)
+        TLP_CHECK(iters[i] == iters[i - 1] + 1,
+                  "fuse expects contiguous iterators");
+    const int first = iters.front();
+    const int last = iters.back();
+    TLP_CHECK(first >= 0 && last < static_cast<int>(st.iters.size()),
+              "fuse iterator out of range");
+
+    Iterator fused;
+    fused.extent = 1;
+    for (int i = first; i <= last; ++i) {
+        const Iterator &part = st.iters[static_cast<size_t>(i)];
+        if (!fused.name.empty())
+            fused.name += "@";
+        fused.name += part.name;
+        fused.extent *= part.extent;
+        fused.is_reduction = fused.is_reduction || part.is_reduction;
+        for (const auto &cov : part.coverage)
+            fused.coverage.push_back(cov);
+    }
+    st.iters.erase(st.iters.begin() + first, st.iters.begin() + last + 1);
+    st.iters.insert(st.iters.begin() + first, std::move(fused));
+
+    Primitive prim;
+    prim.kind = PrimKind::FU;
+    prim.addNum(stage_idx);
+    prim.addNum(static_cast<int64_t>(iters.size()));
+    for (int idx : iters)
+        prim.addNum(idx);
+    steps_.prims.push_back(std::move(prim));
+    return first;
+}
+
+void
+State::computeAt(int stage_idx, int target, int target_iter)
+{
+    Stage &st = mutableStage(stage_idx);
+    TLP_CHECK(target >= 0 && target < numStages(), "bad CA target");
+    TLP_CHECK(target != stage_idx, "compute_at on itself");
+    const Stage &tgt = stage(target);
+    TLP_CHECK(target_iter >= 0 &&
+                  target_iter < static_cast<int>(tgt.iters.size()),
+              "bad CA target iterator");
+    st.loc = ComputeLoc::At;
+    st.at_stage = target;
+    st.at_iter = target_iter;
+
+    Primitive prim;
+    prim.kind = PrimKind::CA;
+    prim.addNum(stage_idx);
+    prim.addNum(target);
+    prim.addNum(target_iter);
+    steps_.prims.push_back(std::move(prim));
+}
+
+void
+State::computeInline(int stage_idx)
+{
+    Stage &st = mutableStage(stage_idx);
+    TLP_CHECK(!st.is_placeholder, "cannot inline a placeholder");
+    st.loc = ComputeLoc::Inlined;
+
+    Primitive prim;
+    prim.kind = PrimKind::CI;
+    prim.addNum(stage_idx);
+    steps_.prims.push_back(std::move(prim));
+}
+
+void
+State::computeRoot(int stage_idx)
+{
+    Stage &st = mutableStage(stage_idx);
+    st.loc = ComputeLoc::Root;
+    st.at_stage = -1;
+    st.at_iter = -1;
+
+    Primitive prim;
+    prim.kind = PrimKind::CR;
+    prim.addNum(stage_idx);
+    steps_.prims.push_back(std::move(prim));
+}
+
+int
+State::cacheWrite(int stage_idx)
+{
+    Stage &st = mutableStage(stage_idx);
+    TLP_CHECK(!st.is_placeholder && !st.is_cache_stage,
+              "cache_write target must be a compute stage");
+    // The write access must be purely spatial (holds for heavy anchors).
+    for (const auto &access : st.spec.accesses) {
+        if (!access.is_write)
+            continue;
+        for (const auto &dim : access.dims)
+            for (const auto &[iter, coef] : dim.terms)
+                TLP_CHECK(!st.spec.iters
+                               .at(static_cast<size_t>(iter))
+                               .is_reduction,
+                          "cache_write on reduction-indexed output");
+    }
+
+    Stage local = st;
+    local.name = st.name + ".local";
+    local.out_buffer = st.out_buffer + ".local";
+    local.is_cache_stage = true;
+    for (auto &access : local.spec.accesses)
+        if (access.is_write)
+            access.buffer = local.out_buffer;
+
+    // The original stage becomes a spatial copy-out of the local buffer.
+    ir::LoopSpec copy_spec;
+    std::vector<ir::AccessDim> out_dims;
+    for (size_t j = 0; j < st.spec.iters.size(); ++j) {
+        const ir::IterSpec &iter = st.spec.iters[j];
+        if (iter.is_reduction)
+            continue;
+        copy_spec.iters.push_back(iter);
+        out_dims.push_back(singleDim(static_cast<int>(copy_spec.iters.size()) - 1));
+    }
+    ir::AccessSpec read_local;
+    read_local.buffer = local.out_buffer;
+    read_local.elem_bytes = 4;
+    read_local.is_write = false;
+    read_local.dims = out_dims;
+    ir::AccessSpec write_out;
+    write_out.buffer = st.out_buffer;
+    write_out.elem_bytes = 4;
+    write_out.is_write = true;
+    write_out.dims = out_dims;
+    copy_spec.accesses = {read_local, write_out};
+    copy_spec.flops_per_point = 1.0;
+
+    st.spec = std::move(copy_spec);
+    st.iters.clear();
+    for (size_t j = 0; j < st.spec.iters.size(); ++j) {
+        const ir::IterSpec &spec_iter = st.spec.iters[j];
+        Iterator iter;
+        iter.name = spec_iter.name;
+        iter.extent = spec_iter.extent;
+        iter.is_reduction = false;
+        iter.coverage = {{static_cast<int>(j), spec_iter.extent}};
+        st.iters.push_back(std::move(iter));
+    }
+
+    stages_.push_back(std::move(local));
+
+    Primitive prim;
+    prim.kind = PrimKind::CHW;
+    prim.addNum(stage_idx);
+    prim.addName("local");
+    steps_.prims.push_back(std::move(prim));
+    return numStages() - 1;
+}
+
+int
+State::cacheRead(int producer, int consumer)
+{
+    const Stage &prod = stage(producer);
+    Stage &cons = mutableStage(consumer);
+    TLP_CHECK(!cons.is_placeholder, "cache_read consumer must compute");
+
+    Stage shared;
+    shared.op_index = prod.op_index;
+    shared.name = prod.name + ".shared";
+    shared.out_buffer = prod.out_buffer + ".shared";
+    shared.is_cache_stage = true;
+
+    const ir::Shape &shape =
+        subgraph_->op(prod.op_index).out.shape;
+    std::vector<ir::AccessDim> dims;
+    for (size_t j = 0; j < shape.size(); ++j) {
+        ir::IterSpec spec_iter;
+        spec_iter.name = "v" + std::to_string(j);
+        spec_iter.extent = shape[j];
+        spec_iter.is_reduction = false;
+        shared.spec.iters.push_back(spec_iter);
+        dims.push_back(singleDim(static_cast<int>(j)));
+
+        Iterator iter;
+        iter.name = spec_iter.name;
+        iter.extent = spec_iter.extent;
+        iter.coverage = {{static_cast<int>(j), spec_iter.extent}};
+        shared.iters.push_back(std::move(iter));
+    }
+    ir::AccessSpec read_src;
+    read_src.buffer = prod.out_buffer;
+    read_src.elem_bytes = 4;
+    read_src.is_write = false;
+    read_src.dims = dims;
+    ir::AccessSpec write_shared;
+    write_shared.buffer = shared.out_buffer;
+    write_shared.elem_bytes = 4;
+    write_shared.is_write = true;
+    write_shared.dims = dims;
+    shared.spec.accesses = {read_src, write_shared};
+    shared.spec.flops_per_point = 0.0;
+
+    cons.redirects[prod.out_buffer] = shared.out_buffer;
+    stages_.push_back(std::move(shared));
+
+    Primitive prim;
+    prim.kind = PrimKind::CHR;
+    prim.addNum(producer);
+    prim.addNum(consumer);
+    prim.addName("shared");
+    steps_.prims.push_back(std::move(prim));
+    return numStages() - 1;
+}
+
+int
+State::rfactor(int stage_idx, int iter_idx)
+{
+    Stage &st = mutableStage(stage_idx);
+    Iterator &factored = st.iters.at(static_cast<size_t>(iter_idx));
+    TLP_CHECK(factored.is_reduction, "rfactor needs a reduction iterator");
+    const int64_t partials = factored.extent;
+
+    Stage rf = st;
+    rf.name = st.name + ".rf";
+    rf.out_buffer = st.out_buffer + ".rf";
+    rf.is_cache_stage = true;
+    rf.iters.at(static_cast<size_t>(iter_idx)).is_reduction = false;
+    for (auto &access : rf.spec.accesses) {
+        if (!access.is_write)
+            continue;
+        access.buffer = rf.out_buffer;
+        // The partial dimension is indexed by the factored iterator's
+        // original iterators.
+        for (const auto &[orig, extent] : factored.coverage)
+            access.dims.push_back(singleDim(orig));
+    }
+
+    // Rebuild the original stage as the final reduction over partials.
+    ir::LoopSpec final_spec;
+    std::vector<ir::AccessDim> spatial_dims;
+    for (const ir::IterSpec &spec_iter : st.spec.iters) {
+        if (spec_iter.is_reduction)
+            continue;
+        final_spec.iters.push_back(spec_iter);
+        spatial_dims.push_back(
+            singleDim(static_cast<int>(final_spec.iters.size()) - 1));
+    }
+    ir::IterSpec partial_iter;
+    partial_iter.name = "rfr";
+    partial_iter.extent = partials;
+    partial_iter.is_reduction = true;
+    final_spec.iters.push_back(partial_iter);
+    std::vector<ir::AccessDim> read_dims = spatial_dims;
+    read_dims.push_back(
+        singleDim(static_cast<int>(final_spec.iters.size()) - 1));
+
+    ir::AccessSpec read_rf;
+    read_rf.buffer = rf.out_buffer;
+    read_rf.elem_bytes = 4;
+    read_rf.is_write = false;
+    read_rf.dims = read_dims;
+    ir::AccessSpec write_out;
+    write_out.buffer = st.out_buffer;
+    write_out.elem_bytes = 4;
+    write_out.is_write = true;
+    write_out.dims = spatial_dims;
+    final_spec.accesses = {read_rf, write_out};
+    final_spec.flops_per_point = 1.0;
+
+    st.spec = std::move(final_spec);
+    st.iters.clear();
+    for (size_t j = 0; j < st.spec.iters.size(); ++j) {
+        const ir::IterSpec &spec_iter = st.spec.iters[j];
+        Iterator iter;
+        iter.name = spec_iter.name;
+        iter.extent = spec_iter.extent;
+        iter.is_reduction = spec_iter.is_reduction;
+        iter.coverage = {{static_cast<int>(j), spec_iter.extent}};
+        st.iters.push_back(std::move(iter));
+    }
+
+    stages_.push_back(std::move(rf));
+
+    Primitive prim;
+    prim.kind = PrimKind::RF;
+    prim.addNum(stage_idx);
+    prim.addNum(iter_idx);
+    steps_.prims.push_back(std::move(prim));
+    return numStages() - 1;
+}
+
+void
+State::annotate(int stage_idx, int iter_idx, Annotation ann)
+{
+    Iterator &iter = mutableIter(stage_idx, iter_idx);
+    if (!is_gpu_) {
+        TLP_CHECK(ann != Annotation::BlockX && ann != Annotation::ThreadX &&
+                      ann != Annotation::VThread,
+                  "GPU binding on a CPU schedule");
+    }
+    iter.ann = ann;
+
+    Primitive prim;
+    prim.kind = PrimKind::AN;
+    prim.addNum(stage_idx);
+    prim.addNum(iter_idx);
+    prim.addNum(static_cast<int64_t>(ann));
+    prim.addName(annotationName(ann));
+    steps_.prims.push_back(std::move(prim));
+}
+
+void
+State::pragmaUnroll(int stage_idx, int64_t max_step)
+{
+    mutableStage(stage_idx).pragma_unroll = max_step;
+
+    Primitive prim;
+    prim.kind = PrimKind::PR;
+    prim.addNum(stage_idx);
+    prim.addNum(max_step);
+    prim.addName("auto_unroll_max_step");
+    steps_.prims.push_back(std::move(prim));
+}
+
+void
+State::storageAlign(int stage_idx, int64_t factor)
+{
+    mutableStage(stage_idx).storage_align = factor;
+
+    Primitive prim;
+    prim.kind = PrimKind::SA;
+    prim.addNum(stage_idx);
+    prim.addNum(factor);
+    steps_.prims.push_back(std::move(prim));
+}
+
+void
+State::applyRecorded(const Primitive &prim)
+{
+    auto num = [&](size_t i) {
+        return std::get<int64_t>(prim.params.at(i));
+    };
+    switch (prim.kind) {
+      case PrimKind::SP: {
+        const auto count = num(3);
+        std::vector<int64_t> lengths;
+        for (int64_t j = 0; j < count; ++j)
+            lengths.push_back(num(4 + static_cast<size_t>(j)));
+        split(static_cast<int>(num(0)), static_cast<int>(num(1)), lengths);
+        break;
+      }
+      case PrimKind::FSP:
+        followSplit(static_cast<int>(num(0)), static_cast<int>(num(1)),
+                    static_cast<int>(num(2)), static_cast<int>(num(3)));
+        break;
+      case PrimKind::FFSP:
+        followFusedSplit(static_cast<int>(num(0)), static_cast<int>(num(1)),
+                         static_cast<int>(num(2)), static_cast<int>(num(3)));
+        break;
+      case PrimKind::RE: {
+        const auto count = num(1);
+        std::vector<int> order;
+        for (int64_t j = 0; j < count; ++j)
+            order.push_back(static_cast<int>(num(2 + static_cast<size_t>(j))));
+        reorder(static_cast<int>(num(0)), order);
+        break;
+      }
+      case PrimKind::FU: {
+        const auto count = num(1);
+        std::vector<int> iters;
+        for (int64_t j = 0; j < count; ++j)
+            iters.push_back(static_cast<int>(num(2 + static_cast<size_t>(j))));
+        fuse(static_cast<int>(num(0)), iters);
+        break;
+      }
+      case PrimKind::CA:
+        computeAt(static_cast<int>(num(0)), static_cast<int>(num(1)),
+                  static_cast<int>(num(2)));
+        break;
+      case PrimKind::CI:
+        computeInline(static_cast<int>(num(0)));
+        break;
+      case PrimKind::CR:
+        computeRoot(static_cast<int>(num(0)));
+        break;
+      case PrimKind::CHW:
+        cacheWrite(static_cast<int>(num(0)));
+        break;
+      case PrimKind::CHR:
+        cacheRead(static_cast<int>(num(0)), static_cast<int>(num(1)));
+        break;
+      case PrimKind::RF:
+        rfactor(static_cast<int>(num(0)), static_cast<int>(num(1)));
+        break;
+      case PrimKind::AN:
+        annotate(static_cast<int>(num(0)), static_cast<int>(num(1)),
+                 static_cast<Annotation>(num(2)));
+        break;
+      case PrimKind::PR:
+        pragmaUnroll(static_cast<int>(num(0)), num(1));
+        break;
+      case PrimKind::SA:
+        storageAlign(static_cast<int>(num(0)), num(1));
+        break;
+      case PrimKind::NumKinds:
+        TLP_PANIC("bad primitive");
+    }
+}
+
+State
+replaySteps(ir::SubgraphPtr subgraph, bool is_gpu, const PrimitiveSeq &seq)
+{
+    State state(std::move(subgraph), is_gpu);
+    for (const Primitive &prim : seq.prims)
+        state.applyRecorded(prim);
+    return state;
+}
+
+} // namespace tlp::sched

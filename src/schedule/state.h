@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Schedule state: the loop structure of a tensor program under
+ * construction, mutated by schedule primitives.
+ *
+ * A State is created from a Subgraph (one stage per op, iterators from the
+ * op's LoopSpec) and then transformed by the primitive application methods.
+ * Every application appends the corresponding Primitive to `steps()`, so a
+ * State always carries the exact primitive sequence that produced it — the
+ * object TLP extracts features from. `replaySteps()` rebuilds a State from
+ * a recorded sequence, which is the "reversible preprocessing" property
+ * discussed in Sec. 4.1 of the paper.
+ *
+ * Iterators track *coverage*: which original (pre-transform) iterators a
+ * loop spans and by how much. Coverage is what lets the hardware model
+ * compute exact tile footprints after arbitrary split/fuse/reorder chains.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/loops.h"
+#include "ir/subgraph.h"
+#include "schedule/primitive.h"
+
+namespace tlp::sched {
+
+/** One loop of a stage after transforms. */
+struct Iterator
+{
+    std::string name;
+    int64_t extent = 1;
+    bool is_reduction = false;
+    Annotation ann = Annotation::None;
+    /** (original iter index, covered extent), ordered outer -> inner. */
+    std::vector<std::pair<int, int64_t>> coverage;
+};
+
+/** Where a stage's computation is placed. */
+enum class ComputeLoc : uint8_t { Root, Inlined, At };
+
+/** One op (or synthetic cache/rfactor op) in the schedule. */
+struct Stage
+{
+    int op_index = -1;            ///< originating subgraph op
+    std::string name;
+    bool is_placeholder = false;
+    bool is_cache_stage = false;  ///< cache_write/cache_read/rfactor stage
+    std::vector<Iterator> iters;
+
+    ComputeLoc loc = ComputeLoc::Root;
+    int at_stage = -1;            ///< target stage index when loc == At
+    int at_iter = -1;             ///< target iterator index when loc == At
+
+    int64_t pragma_unroll = 0;    ///< auto_unroll_max_step value
+    int64_t storage_align = 0;
+
+    ir::LoopSpec spec;            ///< access patterns over original iters
+    std::string out_buffer;
+    /** Read-buffer renames installed by cache_read / rfactor. */
+    std::map<std::string, std::string> redirects;
+
+    /** Product of all iterator extents. */
+    int64_t totalExtent() const;
+};
+
+/** A schedulable tensor program: stages + the primitive sequence so far. */
+class State
+{
+  public:
+    /** Build the naive program of @p subgraph. @p is_gpu selects GPU
+     *  annotation legality (bindings) but not the primitive grammar. */
+    State(ir::SubgraphPtr subgraph, bool is_gpu);
+
+    const std::vector<Stage> &stages() const { return stages_; }
+    const Stage &stage(int index) const;
+    int numStages() const { return static_cast<int>(stages_.size()); }
+    const PrimitiveSeq &steps() const { return steps_; }
+    ir::SubgraphPtr subgraph() const { return subgraph_; }
+    bool isGpu() const { return is_gpu_; }
+
+    /** Index of the stage currently producing @p buffer; -1 if none. */
+    int stageWriting(const std::string &buffer) const;
+
+    // --- primitive applications (each records one step) ---
+
+    /**
+     * Split iterator @p iter of @p stage into 1 + lengths.size() loops;
+     * @p lengths are the extents of the inner loops (innermost last), the
+     * outer loop gets ceil(extent / prod(lengths)).
+     * @return index of the outer resulting iterator.
+     */
+    int split(int stage, int iter, const std::vector<int64_t> &lengths);
+
+    /** Split @p iter using the lengths of the @p src_step -th recorded
+     *  step (which must be an SP step), truncated to @p n_split parts. */
+    int followSplit(int stage, int iter, int src_step, int n_split);
+
+    /** GPU variant: follow a fused split (same mechanics here). */
+    int followFusedSplit(int stage, int iter, int src_step, int n_split);
+
+    /** Permute all iterators of @p stage; @p order is a permutation of
+     *  current iterator indices. */
+    void reorder(int stage, const std::vector<int> &order);
+
+    /** Fuse the contiguous iterators @p iters (ascending). @return index
+     *  of the fused iterator. */
+    int fuse(int stage, const std::vector<int> &iters);
+
+    /** Nest @p stage's computation under iterator @p target_iter of
+     *  @p target. */
+    void computeAt(int stage, int target, int target_iter);
+
+    /** Inline @p stage into its consumers. */
+    void computeInline(int stage);
+
+    /** Restore @p stage to root placement. */
+    void computeRoot(int stage);
+
+    /**
+     * Insert a local accumulation stage for @p stage (must still have its
+     * original iterators). The new stage takes over the reduction; the
+     * original becomes a spatial copy-out.
+     * @return index of the new cache stage.
+     */
+    int cacheWrite(int stage);
+
+    /** Insert a staging (shared-memory) copy of @p producer's buffer for
+     *  @p consumer. @return index of the new cache stage. */
+    int cacheRead(int producer, int consumer);
+
+    /**
+     * Factor reduction iterator @p iter of @p stage into a partial stage
+     * (iter becomes spatial there) plus a final reduction in @p stage.
+     * @return index of the new partial stage.
+     */
+    int rfactor(int stage, int iter);
+
+    /** Annotate an iterator (parallel / vectorize / unroll / bindings). */
+    void annotate(int stage, int iter, Annotation ann);
+
+    /** Set the auto_unroll_max_step pragma on @p stage. */
+    void pragmaUnroll(int stage, int64_t max_step);
+
+    /** Set a storage-alignment hint on @p stage. */
+    void storageAlign(int stage, int64_t factor);
+
+    /** Re-apply a recorded primitive (used by replaySteps). */
+    void applyRecorded(const Primitive &prim);
+
+  private:
+    Stage &mutableStage(int index);
+    Iterator &mutableIter(int stage, int iter);
+    int doSplit(int stage, int iter, const std::vector<int64_t> &lengths);
+
+    ir::SubgraphPtr subgraph_;
+    bool is_gpu_ = false;
+    std::vector<Stage> stages_;
+    PrimitiveSeq steps_;
+};
+
+/** Rebuild a State by replaying @p seq on the naive program. */
+State replaySteps(ir::SubgraphPtr subgraph, bool is_gpu,
+                  const PrimitiveSeq &seq);
+
+} // namespace tlp::sched

@@ -1,0 +1,70 @@
+#include "sketch/tiles.h"
+
+#include <algorithm>
+
+namespace tlp::sketch {
+
+std::vector<int64_t>
+divisorsOf(int64_t value)
+{
+    std::vector<int64_t> small, large;
+    for (int64_t d = 1; d * d <= value; ++d) {
+        if (value % d == 0) {
+            small.push_back(d);
+            if (d != value / d)
+                large.push_back(value / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+std::vector<int64_t>
+sampleTileLengths(Rng &rng, int64_t extent, int parts, int64_t max_inner)
+{
+    TLP_CHECK(parts >= 1, "need at least one tile length");
+    std::vector<int64_t> lengths(static_cast<size_t>(parts), 1);
+    int64_t remaining = std::max<int64_t>(1, extent);
+
+    // Innermost first: bias toward small powers of two (vector-friendly).
+    for (int p = parts - 1; p >= 0; --p) {
+        const int64_t cap = p == parts - 1
+                                ? std::min(remaining, max_inner)
+                                : remaining;
+        if (cap <= 1) {
+            lengths[static_cast<size_t>(p)] = 1;
+            continue;
+        }
+        int64_t len;
+        if (rng.bernoulli(0.85)) {
+            // Divisor of what remains, biased toward the small end.
+            auto divisors = divisorsOf(remaining);
+            while (!divisors.empty() && divisors.back() > cap)
+                divisors.pop_back();
+            if (divisors.empty()) {
+                len = 1;
+            } else {
+                // Square the uniform draw to bias small.
+                const double u = rng.uniform();
+                const size_t idx = static_cast<size_t>(
+                    u * u * static_cast<double>(divisors.size()));
+                len = divisors[std::min(idx, divisors.size() - 1)];
+            }
+        } else {
+            // Imperfect tile.
+            len = rng.randint(1, std::min<int64_t>(cap, 64));
+        }
+        lengths[static_cast<size_t>(p)] = len;
+        remaining = std::max<int64_t>(1, remaining / std::max<int64_t>(1, len));
+    }
+    return lengths;
+}
+
+int64_t
+sampleUnrollStep(Rng &rng)
+{
+    static const int64_t candidates[] = {0, 16, 64, 512};
+    return candidates[rng.randint(4)];
+}
+
+} // namespace tlp::sketch

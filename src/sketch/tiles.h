@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Tile-size sampling helpers for schedule generation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace tlp::sketch {
+
+/** All positive divisors of @p value in ascending order. */
+std::vector<int64_t> divisorsOf(int64_t value);
+
+/**
+ * Sample @p parts inner tile lengths for a loop of @p extent.
+ *
+ * Lengths multiply to at most @p extent. Divisible tilings are preferred;
+ * with small probability a non-divisible length is chosen, mirroring
+ * Ansor's imperfect tiling. @p max_inner bounds the innermost length
+ * (e.g. a vector-width cap).
+ */
+std::vector<int64_t> sampleTileLengths(Rng &rng, int64_t extent, int parts,
+                                       int64_t max_inner = 64);
+
+/** Sample an auto_unroll_max_step pragma value (Ansor's candidates). */
+int64_t sampleUnrollStep(Rng &rng);
+
+} // namespace tlp::sketch

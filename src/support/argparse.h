@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A tiny command-line flag parser for examples and benches.
+ *
+ * Flags have the form `--name value` or `--name=value`; boolean flags may
+ * be given bare (`--verbose`). Unknown flags are fatal so typos surface
+ * immediately.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tlp {
+
+/** Declarative flag registry plus parsed values. */
+class ArgParser
+{
+  public:
+    /** @param description one-line program description for --help. */
+    explicit ArgParser(std::string description);
+
+    /** Register a string flag with a default. */
+    void addString(const std::string &name, const std::string &default_value,
+                   const std::string &help);
+
+    /** Register an integer flag with a default. */
+    void addInt(const std::string &name, int64_t default_value,
+                const std::string &help);
+
+    /** Register a floating-point flag with a default. */
+    void addDouble(const std::string &name, double default_value,
+                   const std::string &help);
+
+    /** Register a boolean flag (default false unless stated). */
+    void addBool(const std::string &name, bool default_value,
+                 const std::string &help);
+
+    /** Parse argv; prints help and exits on --help; fatal on bad flags. */
+    void parse(int argc, char **argv);
+
+    /** Accessors; fatal if the flag was never registered. */
+    std::string getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+  private:
+    enum class Kind { String, Int, Double, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string help;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    void printHelp(const char *prog) const;
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace tlp

@@ -1,0 +1,44 @@
+#include "support/serialize.h"
+
+namespace tlp {
+
+void
+BinaryWriter::writeString(const std::string &value)
+{
+    writePod<uint64_t>(value.size());
+    os_.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+std::string
+BinaryReader::readString()
+{
+    const auto size = readPod<uint64_t>();
+    std::string value(size, '\0');
+    if (size > 0) {
+        is_.read(value.data(), static_cast<std::streamsize>(size));
+        TLP_CHECK(is_.good(), "truncated binary stream");
+    }
+    return value;
+}
+
+void
+writeHeader(BinaryWriter &writer, uint32_t magic, uint32_t version)
+{
+    writer.writePod(magic);
+    writer.writePod(version);
+}
+
+void
+readHeader(BinaryReader &reader, uint32_t magic, uint32_t max_version)
+{
+    const auto got_magic = reader.readPod<uint32_t>();
+    if (got_magic != magic)
+        TLP_FATAL("bad file magic: got ", got_magic, ", want ", magic);
+    const auto version = reader.readPod<uint32_t>();
+    if (version > max_version) {
+        TLP_FATAL("file version ", version,
+                  " is newer than supported version ", max_version);
+    }
+}
+
+} // namespace tlp

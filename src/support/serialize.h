@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal binary serialization for dataset and model checkpoints.
+ *
+ * The format is a flat little-endian byte stream with explicit sizes; it is
+ * not self-describing, so readers and writers must agree on the schema.
+ * Every top-level file produced by the library starts with a 4-byte magic
+ * and a version number checked by the reader.
+ */
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace tlp {
+
+/** Sequential binary writer over an ostream. */
+class BinaryWriter
+{
+  public:
+    /** Wrap an externally owned stream. */
+    explicit BinaryWriter(std::ostream &os) : os_(os) {}
+
+    /** Write a trivially copyable value verbatim. */
+    template <typename T>
+    void
+    writePod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        os_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    }
+
+    /** Write a length-prefixed string. */
+    void writeString(const std::string &value);
+
+    /** Write a length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    void
+    writeVector(const std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writePod<uint64_t>(values.size());
+        if (!values.empty()) {
+            os_.write(reinterpret_cast<const char *>(values.data()),
+                      static_cast<std::streamsize>(values.size() * sizeof(T)));
+        }
+    }
+
+    /** True if the underlying stream is still healthy. */
+    bool good() const { return os_.good(); }
+
+  private:
+    std::ostream &os_;
+};
+
+/** Sequential binary reader over an istream; fatal() on truncated input. */
+class BinaryReader
+{
+  public:
+    /** Wrap an externally owned stream. */
+    explicit BinaryReader(std::istream &is) : is_(is) {}
+
+    /** Read a trivially copyable value. */
+    template <typename T>
+    T
+    readPod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        is_.read(reinterpret_cast<char *>(&value), sizeof(T));
+        TLP_CHECK(is_.good(), "truncated binary stream");
+        return value;
+    }
+
+    /** Read a length-prefixed string. */
+    std::string readString();
+
+    /** Read a length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    std::vector<T>
+    readVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto count = readPod<uint64_t>();
+        std::vector<T> values(count);
+        if (count > 0) {
+            is_.read(reinterpret_cast<char *>(values.data()),
+                     static_cast<std::streamsize>(count * sizeof(T)));
+            TLP_CHECK(is_.good(), "truncated binary stream");
+        }
+        return values;
+    }
+
+  private:
+    std::istream &is_;
+};
+
+/** Write the standard file header (magic + version). */
+void writeHeader(BinaryWriter &writer, uint32_t magic, uint32_t version);
+
+/** Read and validate the standard file header; fatal on mismatch. */
+void readHeader(BinaryReader &reader, uint32_t magic, uint32_t max_version);
+
+} // namespace tlp

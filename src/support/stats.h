@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Streaming statistics accumulators and a fixed-bin histogram.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlp {
+
+/** Welford-style running mean/variance plus min/max. */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double value);
+
+    /** Number of observations so far. */
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/** Histogram over integer keys (e.g., sequence lengths). */
+class IntHistogram
+{
+  public:
+    /** Count one occurrence of @p key. */
+    void add(int64_t key);
+
+    /** Number of occurrences of @p key. */
+    uint64_t countOf(int64_t key) const;
+
+    /** Total observations. */
+    uint64_t total() const { return total_; }
+
+    /** Smallest observed key (0 when empty). */
+    int64_t minKey() const;
+
+    /** Largest observed key (0 when empty). */
+    int64_t maxKey() const;
+
+    /** Key with the highest count (ties broken toward smaller keys). */
+    int64_t modeKey() const;
+
+    /** All (key, count) pairs in ascending key order. */
+    std::vector<std::pair<int64_t, uint64_t>> sorted() const;
+
+    /** ASCII bar-chart rendering, @p width columns for the tallest bar. */
+    std::string render(int width = 50) const;
+
+  private:
+    std::vector<std::pair<int64_t, uint64_t>> &mutableBins();
+
+    std::vector<std::pair<int64_t, uint64_t>> bins_;
+    uint64_t total_ = 0;
+};
+
+/** Pearson correlation of two equally sized series. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Spearman rank correlation of two equally sized series. */
+double spearman(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace tlp

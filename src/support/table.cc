@@ -1,0 +1,88 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tlp {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute the widths over header and all rows.
+    std::vector<size_t> widths;
+    auto fold = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    fold(header_);
+    for (const auto &row : rows_)
+        fold(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row,
+                         std::ostringstream &os) {
+        os << "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << ' ' << cell;
+            os << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+        }
+        os << '\n';
+    };
+    auto renderSep = [&](std::ostringstream &os) {
+        os << "+";
+        for (size_t width : widths)
+            os << std::string(width + 2, '-') << '+';
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << '\n';
+    renderSep(os);
+    if (!header_.empty()) {
+        renderRow(header_, os);
+        renderSep(os);
+    }
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            renderSep(os);
+        } else {
+            renderRow(row, os);
+        }
+    }
+    renderSep(os);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace tlp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark and example output.
+ *
+ * Every bench prints its results as one of these tables so that the rows
+ * match the layout of the paper's tables.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlp {
+
+/** Column-aligned ASCII table with an optional title. */
+class TextTable
+{
+  public:
+    /** @param title printed above the table; may be empty. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; width may differ from the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;   // empty row == separator
+};
+
+} // namespace tlp

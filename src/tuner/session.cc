@@ -1,0 +1,164 @@
+#include "tuner/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "schedule/lower.h"
+#include "support/logging.h"
+
+namespace tlp::tune {
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Per-task tuning state. */
+struct TaskState
+{
+    ir::SubgraphPtr subgraph;
+    int weight = 1;
+    double best_ms = std::numeric_limits<double>::infinity();
+    int rounds_done = 0;
+    double last_improvement = 1.0;
+    std::set<uint64_t> measured_hashes;
+};
+
+} // namespace
+
+double
+TuneResult::timeToReach(double target_latency_ms) const
+{
+    for (const CurvePoint &point : curve) {
+        if (point.workload_latency_ms <= target_latency_ms)
+            return point.search_seconds;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+TuneResult
+tuneWorkload(const ir::Workload &workload,
+             const hw::HardwarePlatform &platform,
+             model::CostModel &cost_model, const TuneOptions &options)
+{
+    TLP_CHECK(!workload.subgraphs.empty(), "empty workload");
+
+    std::vector<TaskState> tasks;
+    std::vector<sketch::SchedulePolicy> policies;
+    for (size_t i = 0; i < workload.subgraphs.size(); ++i) {
+        TaskState task;
+        task.subgraph = workload.subgraphs[i];
+        task.weight = workload.weights[i];
+        tasks.push_back(std::move(task));
+        policies.emplace_back(workload.subgraphs[i], platform.is_gpu);
+    }
+
+    hw::Measurer measurer(platform, options.measure, options.seed);
+    Rng rng(options.seed);
+
+    TuneResult result;
+    result.best_per_task_ms.assign(tasks.size(),
+                                   std::numeric_limits<double>::infinity());
+
+    auto workloadLatency = [&]() {
+        double total = 0.0;
+        for (const TaskState &task : tasks) {
+            if (!std::isfinite(task.best_ms))
+                return std::numeric_limits<double>::infinity();
+            total += task.best_ms * task.weight;
+        }
+        return total;
+    };
+
+    auto pickTask = [&]() -> size_t {
+        // First sweep: round-robin so every task gets a baseline.
+        for (size_t i = 0; i < tasks.size(); ++i)
+            if (tasks[i].rounds_done == 0)
+                return i;
+        // Afterwards: Ansor-style priority — the task with the largest
+        // weighted remaining latency, boosted by recent improvement.
+        double best_score = -1.0;
+        size_t best_index = 0;
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const TaskState &task = tasks[i];
+            const double score = task.best_ms * task.weight *
+                                 (0.5 + task.last_improvement);
+            if (score > best_score) {
+                best_score = score;
+                best_index = i;
+            }
+        }
+        return best_index;
+    };
+
+    for (int round = 0; round < options.rounds; ++round) {
+        const size_t task_index = pickTask();
+        TaskState &task = tasks[task_index];
+        const int task_id = static_cast<int>(task_index);
+
+        EvolutionResult evolution = evolveOneRound(
+            policies[task_index], cost_model, task_id,
+            options.measures_per_round, task.measured_hashes,
+            options.evolution, rng);
+        result.model_seconds += evolution.model_seconds;
+
+        if (evolution.candidates.empty()) {
+            task.rounds_done += 1;
+            continue;
+        }
+
+        // Measure the picked candidates on the (simulated) hardware.
+        const double before_best = task.best_ms;
+        std::vector<const sched::State *> measured_states;
+        std::vector<double> measured_latency;
+        for (const auto &state : evolution.candidates) {
+            const auto nest = sched::lower(state);
+            const double latency = measurer.measureMs(nest);
+            task.measured_hashes.insert(state.steps().hash());
+            measured_states.push_back(&state);
+            measured_latency.push_back(latency);
+            task.best_ms = std::min(task.best_ms, latency);
+        }
+        result.total_measurements +=
+            static_cast<int64_t>(measured_latency.size());
+
+        // Online model update (no-op for pretrained models).
+        const double t0 = now();
+        cost_model.update(task_id, measured_states, measured_latency);
+        result.model_seconds += now() - t0;
+
+        task.last_improvement =
+            std::isfinite(before_best) && before_best > 0.0
+                ? std::max(0.0, (before_best - task.best_ms) / before_best)
+                : 1.0;
+        task.rounds_done += 1;
+        result.best_per_task_ms[task_index] = task.best_ms;
+
+        CurvePoint point;
+        point.measurements = result.total_measurements;
+        point.search_seconds =
+            measurer.elapsedSeconds() + result.model_seconds;
+        point.workload_latency_ms = workloadLatency();
+        result.curve.push_back(point);
+
+        if (options.verbose) {
+            inform("round ", round, " task ", task_id, " best ",
+                   task.best_ms, "ms workload ",
+                   point.workload_latency_ms, "ms");
+        }
+    }
+
+    result.best_workload_latency_ms = workloadLatency();
+    result.measure_seconds = measurer.elapsedSeconds();
+    result.total_search_seconds =
+        result.measure_seconds + result.model_seconds;
+    return result;
+}
+
+} // namespace tlp::tune

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end tuning session (the Ansor driver of paper Sec. 6.3).
+ *
+ * A session tunes every subgraph (task) of a workload on one platform:
+ * each round, a task is chosen by the scheduler, one evolution round
+ * proposes candidates, the top picks are "measured" on the simulated
+ * hardware, the online model (if any) is updated, and the workload
+ * latency curve — sum over tasks of weight x best latency — is recorded
+ * against both measurement count and accumulated search time.
+ *
+ * Search time = simulated measurement wall clock (the dominant cost on
+ * real hardware) + real wall clock spent in the cost model and feature
+ * extraction. The latter is where TLP beats lowering-based baselines
+ * (Fig. 10).
+ */
+#pragma once
+
+#include "hwmodel/measurer.h"
+#include "ir/subgraph.h"
+#include "models/cost_model.h"
+#include "tuner/evolution.h"
+
+namespace tlp::tune {
+
+/** Session parameters. */
+struct TuneOptions
+{
+    int rounds = 200;              ///< total rounds across all tasks
+    int measures_per_round = 10;   ///< paper: 10 -> 2000 measurements
+    EvolutionOptions evolution;
+    hw::MeasureOptions measure;
+    uint64_t seed = 0x702e;
+    bool verbose = false;
+};
+
+/** One point of the tuning curve. */
+struct CurvePoint
+{
+    int64_t measurements = 0;
+    double search_seconds = 0.0;
+    double workload_latency_ms = 0.0;
+};
+
+/** Session outcome. */
+struct TuneResult
+{
+    std::vector<CurvePoint> curve;
+    double best_workload_latency_ms = 0.0;
+    std::vector<double> best_per_task_ms;
+    int64_t total_measurements = 0;
+    double total_search_seconds = 0.0;
+    double model_seconds = 0.0;      ///< cost model + features + lowering
+    double measure_seconds = 0.0;    ///< simulated hardware time
+
+    /** First search time at which the curve reaches @p target latency;
+     *  +inf when never reached. */
+    double timeToReach(double target_latency_ms) const;
+};
+
+/** Tune @p workload on @p platform guided by @p cost_model. */
+TuneResult tuneWorkload(const ir::Workload &workload,
+                        const hw::HardwarePlatform &platform,
+                        model::CostModel &cost_model,
+                        const TuneOptions &options);
+
+} // namespace tlp::tune

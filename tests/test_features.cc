@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for TLP and Ansor-style feature extraction.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/ansor_features.h"
+#include "features/tlp_features.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "sketch/policy.h"
+
+namespace tlp::feat {
+namespace {
+
+sched::State
+sampleState(const std::string &network, uint64_t seed, bool gpu = false)
+{
+    const auto w = ir::partitionGraph(ir::buildNetwork(network));
+    Rng rng(seed);
+    sketch::SchedulePolicy policy(w.subgraphs.at(0), gpu);
+    return policy.sampleRandom(rng);
+}
+
+TEST(TlpFeatures, TokensStableAndDistinct)
+{
+    EXPECT_EQ(nameToken("parallel"), nameToken("parallel"));
+    EXPECT_NE(nameToken("parallel"), nameToken("vectorize"));
+    EXPECT_GT(nameToken("x"), 0);
+}
+
+TEST(TlpFeatures, EmbeddingStartsWithOneHot)
+{
+    sched::Primitive prim;
+    prim.kind = sched::PrimKind::FU;
+    prim.addNum(3);
+    prim.addName("i");
+    const auto emb = primitiveEmbedding(prim);
+    ASSERT_EQ(emb.size(), static_cast<size_t>(sched::kNumPrimKinds) + 2);
+    for (int k = 0; k < sched::kNumPrimKinds; ++k) {
+        const float want =
+            k == static_cast<int>(sched::PrimKind::FU) ? 1.0f : 0.0f;
+        EXPECT_FLOAT_EQ(emb[static_cast<size_t>(k)], want);
+    }
+}
+
+TEST(TlpFeatures, NumbersAreLogCompressed)
+{
+    sched::Primitive prim;
+    prim.kind = sched::PrimKind::SP;
+    prim.addNum(1024);
+    const auto emb = primitiveEmbedding(prim);
+    EXPECT_NEAR(emb.back(), std::log1p(1024.0), 1e-5);
+}
+
+TEST(TlpFeatures, FixedShapeWithCropAndPad)
+{
+    const auto state = sampleState("resnet-18", 3);
+    TlpFeatureOptions options;
+    options.seq_len = 25;
+    options.emb_size = 22;
+    const auto features = extractTlpFeatures(state.steps(), options);
+    EXPECT_EQ(features.size(), 25u * 22u);
+
+    options.seq_len = 8;
+    options.emb_size = 10;
+    const auto cropped = extractTlpFeatures(state.steps(), options);
+    EXPECT_EQ(cropped.size(), 80u);
+}
+
+TEST(TlpFeatures, DistinctSchedulesGiveDistinctFeatures)
+{
+    const auto a = sampleState("resnet-18", 3);
+    const auto b = sampleState("resnet-18", 4);
+    ASSERT_NE(a.steps().hash(), b.steps().hash());
+    const auto fa = extractTlpFeatures(a.steps());
+    const auto fb = extractTlpFeatures(b.steps());
+    EXPECT_NE(fa, fb);
+}
+
+TEST(TlpFeatures, DeterministicExtraction)
+{
+    const auto state = sampleState("bert-small", 5);
+    EXPECT_EQ(extractTlpFeatures(state.steps()),
+              extractTlpFeatures(state.steps()));
+}
+
+TEST(TlpFeatures, Method2ProducesSingleTokenRows)
+{
+    const auto state = sampleState("resnet-18", 6);
+    TlpFeatureOptions options;
+    options.method = TlpMethod::TokenPerPrim;
+    const auto features = extractTlpFeatures(state.steps(), options);
+    // Every row has exactly one non-zero (the token) for real primitives.
+    const size_t rows = std::min<size_t>(
+        static_cast<size_t>(options.seq_len),
+        static_cast<size_t>(state.steps().size()));
+    for (size_t r = 0; r < rows; ++r) {
+        int non_zero = 0;
+        for (int c = 0; c < options.emb_size; ++c)
+            non_zero += features[r * options.emb_size +
+                                 static_cast<size_t>(c)] != 0.0f;
+        EXPECT_EQ(non_zero, 1) << "row " << r;
+    }
+}
+
+TEST(TlpFeatures, RawEmbeddingSizeMatchesWidestPrimitive)
+{
+    const auto state = sampleState("resnet-18", 7);
+    const int raw = rawEmbeddingSize(state.steps());
+    EXPECT_GE(raw, sched::kNumPrimKinds);
+    int widest = 0;
+    for (const auto &prim : state.steps().prims)
+        widest = std::max(widest, prim.numParams());
+    EXPECT_EQ(raw, sched::kNumPrimKinds + widest);
+}
+
+TEST(AnsorFeatures, FixedSizeIs164)
+{
+    EXPECT_EQ(kAnsorFeatureSize, 164);
+    const auto state = sampleState("resnet-18", 8);
+    const auto features = extractAnsorFeatures(sched::lower(state));
+    EXPECT_EQ(features.size(), 164u);
+}
+
+TEST(AnsorFeatures, SensitiveToSchedule)
+{
+    const auto a = sampleState("resnet-18", 9);
+    const auto b = sampleState("resnet-18", 10);
+    const auto fa = extractAnsorFeatures(sched::lower(a));
+    const auto fb = extractAnsorFeatures(sched::lower(b));
+    EXPECT_NE(fa, fb);
+}
+
+TEST(AnsorFeatures, GpuFlagSet)
+{
+    const auto state = sampleState("resnet-18", 11, true);
+    const auto features = extractAnsorFeatures(sched::lower(state));
+    EXPECT_FLOAT_EQ(features[4 * kAnsorStageFeatures + 2], 1.0f);
+}
+
+TEST(AnsorFeatures, FiniteForWholeZooSamples)
+{
+    Rng rng(12);
+    for (const auto &name : {"mobilenet-v2", "bert-tiny"}) {
+        const auto w = ir::partitionGraph(ir::buildNetwork(name));
+        for (const auto &sg : w.subgraphs) {
+            sketch::SchedulePolicy policy(sg, false);
+            const auto state = policy.sampleRandom(rng);
+            const auto features = extractAnsorFeatures(sched::lower(state));
+            for (float f : features)
+                ASSERT_TRUE(std::isfinite(f)) << sg->key();
+        }
+    }
+}
+
+} // namespace
+} // namespace tlp::feat

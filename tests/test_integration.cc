@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cross-module integration tests: the full paper pipeline at miniature
+ * scale, plus regression-style checks that tie the subsystems together.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/collect.h"
+#include "dataset/metrics.h"
+#include "dataset/splits.h"
+#include "hwmodel/measurer.h"
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "models/cost_model.h"
+#include "schedule/lower.h"
+#include "sketch/policy.h"
+#include "support/stats.h"
+#include "tuner/session.h"
+
+namespace tlp {
+namespace {
+
+TEST(Integration, FullPipelineTinyScale)
+{
+    // Collect -> split -> train TLP -> evaluate -> tune with the model.
+    data::CollectOptions collect;
+    collect.networks = {"resnet-18", "bert-tiny"};
+    collect.platforms = {"e5-2673"};
+    collect.programs_per_subgraph = 32;
+    collect.seed = 99;
+    const auto dataset = data::collectDataset(collect);
+    const auto split = data::makeSplit(dataset, {"bert-tiny"});
+
+    auto train_set = data::buildTlpSet(dataset, split.train_records, {0});
+    Rng rng(1);
+    model::TlpNetConfig config;
+    config.hidden = 32;
+    auto net = std::make_shared<model::TlpNet>(config, rng);
+    model::TrainOptions options;
+    options.epochs = 2;
+    trainTlpNet(*net, train_set, options);
+
+    // Tune a tiny workload with the trained model; the session must use
+    // the model without lowering (needsLowering() == false).
+    model::TlpCostModel cost_model(net);
+    EXPECT_FALSE(cost_model.needsLowering());
+
+    ir::Workload workload;
+    workload.name = "tiny";
+    workload.subgraphs = {dataset.groups[0].subgraph,
+                          dataset.groups[1].subgraph};
+    workload.weights = {2, 1};
+
+    tune::TuneOptions tune_options;
+    tune_options.rounds = 4;
+    tune_options.measures_per_round = 4;
+    tune_options.evolution.population = 16;
+    tune_options.evolution.iterations = 1;
+    const auto result = tune::tuneWorkload(
+        workload, hw::HardwarePlatform::preset("e5-2673"), cost_model,
+        tune_options);
+    EXPECT_TRUE(std::isfinite(result.best_workload_latency_ms));
+    EXPECT_GT(result.model_seconds, 0.0);
+}
+
+TEST(Integration, DatasetLabelsMatchSimulatorUpToNoise)
+{
+    // Replaying a record and simulating it must land within measurement
+    // noise of the stored label.
+    data::CollectOptions collect;
+    collect.networks = {"resnet-18"};
+    collect.platforms = {"platinum-8272"};
+    collect.programs_per_subgraph = 12;
+    collect.seed = 5;
+    const auto dataset = data::collectDataset(collect);
+
+    hw::LatencySimulator sim(
+        hw::HardwarePlatform::preset("platinum-8272"));
+    for (size_t r = 0; r < dataset.records.size(); r += 13) {
+        const auto &record = dataset.records[r];
+        const auto &group = dataset.groups[record.group];
+        const auto state =
+            sched::replaySteps(group.subgraph, false, record.seq);
+        const double simulated = sim.latencyMs(sched::lower(state));
+        const double stored = record.latency_ms[0];
+        EXPECT_NEAR(stored, simulated, simulated * 0.15)
+            << group.key << " record " << r;
+    }
+}
+
+TEST(Integration, TlpFeaturesAreLosslessEnoughForIdentity)
+{
+    // Distinct schedules of one subgraph map to distinct TLP features
+    // (at full, uncropped width) — the near-one-to-one property that
+    // Sec. 4.3 argues for.
+    const auto workload = ir::partitionGraph(ir::buildNetwork("vgg-16"));
+    Rng rng(31);
+    sketch::SchedulePolicy policy(workload.subgraphs[0], false);
+    const auto population = policy.sampleInitPopulation(64, rng);
+    feat::TlpFeatureOptions options;
+    options.seq_len = 60;
+    options.emb_size = 48;
+    std::set<std::vector<float>> distinct;
+    for (const auto &state : population)
+        distinct.insert(feat::extractTlpFeatures(state.steps(), options));
+    EXPECT_EQ(distinct.size(), population.size());
+}
+
+TEST(Integration, CrossPlatformLabelsDiverge)
+{
+    // The domain gap (Sec. 5.1): normalized labels on two platforms are
+    // correlated but materially different.
+    data::CollectOptions collect;
+    collect.networks = {"resnet-18"};
+    collect.platforms = {"platinum-8272", "graviton2"};
+    collect.programs_per_subgraph = 48;
+    collect.seed = 17;
+    const auto dataset = data::collectDataset(collect);
+
+    std::vector<double> a, b;
+    for (size_t r = 0; r < dataset.records.size(); ++r) {
+        a.push_back(dataset.label(static_cast<int>(r), 0));
+        b.push_back(dataset.label(static_cast<int>(r), 1));
+    }
+    const double rho = spearman(a, b);
+    EXPECT_GT(rho, 0.2);
+    EXPECT_LT(rho, 0.98);
+}
+
+TEST(Integration, OnlineModelImprovesWithinSession)
+{
+    // After a tuning session, the online GBDT's scores must correlate
+    // with true quality on fresh candidates of a task it measured.
+    const auto workload = ir::partitionGraph(ir::buildNetwork("vgg-16"));
+    ir::Workload slim;
+    slim.name = "slim";
+    slim.subgraphs = {workload.subgraphs[0]};
+    slim.weights = {1};
+
+    model::AnsorOnlineCostModel online;
+    tune::TuneOptions options;
+    options.rounds = 6;
+    options.measures_per_round = 8;
+    options.evolution.population = 24;
+    options.evolution.iterations = 1;
+    tuneWorkload(slim, hw::HardwarePlatform::preset("e5-2673"), online,
+                 options);
+
+    Rng rng(3);
+    sketch::SchedulePolicy policy(slim.subgraphs[0], false);
+    const auto fresh = policy.sampleInitPopulation(32, rng);
+    const auto scores = online.scoreStates(0, fresh);
+    hw::LatencySimulator sim(hw::HardwarePlatform::preset("e5-2673"));
+    std::vector<double> neg_latency;
+    for (const auto &state : fresh)
+        neg_latency.push_back(-sim.latencyMs(sched::lower(state)));
+    EXPECT_GT(spearman(scores, neg_latency), 0.25);
+}
+
+TEST(Integration, GpuAndCpuSchedulesUseExpectedPrimitiveSets)
+{
+    // Sec. 4.2: 11-ish primitive kinds per device class, mostly shared.
+    const auto workload =
+        ir::partitionGraph(ir::buildNetwork("resnet-18"));
+    Rng rng(41);
+    std::set<sched::PrimKind> cpu_kinds, gpu_kinds;
+    for (const auto &subgraph : workload.subgraphs) {
+        for (bool gpu : {false, true}) {
+            sketch::SchedulePolicy policy(subgraph, gpu);
+            for (int trial = 0; trial < 4; ++trial) {
+                const auto state = policy.sampleRandom(rng);
+                for (const auto &prim : state.steps().prims)
+                    (gpu ? gpu_kinds : cpu_kinds).insert(prim.kind);
+            }
+        }
+    }
+    EXPECT_GE(cpu_kinds.size(), 8u);
+    EXPECT_GE(gpu_kinds.size(), 8u);
+    // GPU-only kinds exist (bindings / shared staging).
+    EXPECT_TRUE(gpu_kinds.count(sched::PrimKind::CHR));
+    EXPECT_FALSE(cpu_kinds.count(sched::PrimKind::CHR));
+    // CPU uses rfactor; both use the shared core.
+    for (auto kind : {sched::PrimKind::SP, sched::PrimKind::RE,
+                      sched::PrimKind::FU, sched::PrimKind::AN,
+                      sched::PrimKind::PR}) {
+        EXPECT_TRUE(cpu_kinds.count(kind));
+        EXPECT_TRUE(gpu_kinds.count(kind));
+    }
+}
+
+TEST(Integration, MeasurerAndSimulatorAgreeOnOrdering)
+{
+    const auto workload =
+        ir::partitionGraph(ir::buildNetwork("squeezenet"));
+    Rng rng(53);
+    sketch::SchedulePolicy policy(workload.subgraphs[0], false);
+    const auto population = policy.sampleInitPopulation(24, rng);
+
+    hw::LatencySimulator sim(hw::HardwarePlatform::preset("i7-10510u"));
+    hw::Measurer measurer(hw::HardwarePlatform::preset("i7-10510u"));
+    std::vector<double> simulated, measured;
+    for (const auto &state : population) {
+        const auto nest = sched::lower(state);
+        simulated.push_back(sim.latencyMs(nest));
+        measured.push_back(measurer.measureMs(nest));
+    }
+    EXPECT_GT(spearman(simulated, measured), 0.95);
+}
+
+} // namespace
+} // namespace tlp

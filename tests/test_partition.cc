@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the fusion partitioner.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+
+namespace tlp::ir {
+namespace {
+
+TEST(Partition, ConvBnReluFusesIntoOneSubgraph)
+{
+    ComputeGraph g("t");
+    auto x = g.input({1, 3, 32, 32});
+    auto y = g.conv2d(x, 8, 3);
+    y = g.batchNorm(y);
+    g.relu(y);
+    const Workload w = partitionGraph(g);
+    ASSERT_EQ(w.subgraphs.size(), 1u);
+    const Subgraph &sg = *w.subgraphs[0];
+    EXPECT_EQ(sg.anchor().kind, OpKind::Conv2d);
+    // conv + bn + relu ops are all inside.
+    int compute_ops = 0;
+    for (const auto &op : sg.ops())
+        if (op.kind != OpKind::Input && op.kind != OpKind::Constant)
+            ++compute_ops;
+    EXPECT_EQ(compute_ops, 3);
+}
+
+TEST(Partition, RepeatedBlocksDeduplicateWithWeights)
+{
+    ComputeGraph g("t");
+    auto x = g.input({1, 8, 16, 16});
+    for (int i = 0; i < 3; ++i) {
+        x = g.conv2d(x, 8, 3);
+        x = g.relu(x);
+    }
+    const Workload w = partitionGraph(g);
+    ASSERT_EQ(w.subgraphs.size(), 1u);
+    EXPECT_EQ(w.weights[0], 3);
+}
+
+TEST(Partition, ResidualAddFusesIntoProducerGroup)
+{
+    ComputeGraph g("t");
+    auto x = g.input({1, 8, 16, 16});
+    auto y = g.conv2d(x, 8, 3);
+    y = g.batchNorm(y);
+    auto z = g.add(y, x);
+    g.relu(z);
+    const Workload w = partitionGraph(g);
+    ASSERT_EQ(w.subgraphs.size(), 1u);
+    // conv + bn + add + relu all live in the group; the residual operand
+    // resolves to the (deduplicated) external input placeholder.
+    const Subgraph &sg = *w.subgraphs[0];
+    int compute_ops = 0;
+    bool add_reads_input = false;
+    for (const auto &op : sg.ops()) {
+        if (op.kind != OpKind::Input && op.kind != OpKind::Constant)
+            ++compute_ops;
+        if (op.kind == OpKind::Add) {
+            for (int input : op.inputs)
+                add_reads_input |=
+                    sg.op(input).kind == OpKind::Input;
+        }
+    }
+    EXPECT_EQ(compute_ops, 4);
+    EXPECT_TRUE(add_reads_input);
+}
+
+TEST(Partition, AnchorsStartNewGroups)
+{
+    ComputeGraph g("t");
+    auto x = g.input({1, 8, 16, 16});
+    auto y = g.conv2d(x, 8, 3);
+    y = g.relu(y);
+    y = g.conv2d(y, 8, 3);
+    g.relu(y);
+    const Workload w = partitionGraph(g);
+    // Identical conv+relu blocks -> one deduplicated subgraph, weight 2.
+    ASSERT_EQ(w.subgraphs.size(), 1u);
+    EXPECT_EQ(w.weights[0], 2);
+}
+
+TEST(Partition, MediumAnchorsFormOwnGroups)
+{
+    ComputeGraph g("t");
+    auto x = g.input({1, 8, 16, 16});
+    auto y = g.conv2d(x, 8, 3);
+    auto p = g.maxPool2d(y, 3, 2);
+    g.relu(p);
+    const Workload w = partitionGraph(g);
+    ASSERT_EQ(w.subgraphs.size(), 2u);
+}
+
+TEST(Partition, WeightsCountOccurrences)
+{
+    const ComputeGraph g = buildResNet(18);
+    const Workload w = partitionGraph(g);
+    int total = 0;
+    for (int weight : w.weights)
+        total += weight;
+    EXPECT_GT(total, static_cast<int>(w.subgraphs.size()));
+    EXPECT_GE(w.subgraphs.size(), 8u);
+}
+
+TEST(Partition, Resnet50SubgraphCountReasonable)
+{
+    const Workload w = partitionGraph(buildResNet(50));
+    // The paper's tooling extracts ~25-30 distinct tasks from ResNet-50.
+    EXPECT_GE(w.subgraphs.size(), 15u);
+    EXPECT_LE(w.subgraphs.size(), 60u);
+}
+
+TEST(Partition, BertHasBatchMatmulAnchors)
+{
+    const Workload w = partitionGraph(buildNetwork("bert-tiny"));
+    bool found_bmm = false, found_dense = false, found_softmax = false;
+    for (const auto &sg : w.subgraphs) {
+        if (sg->anchorIndex() < 0)
+            continue;
+        switch (sg->anchor().kind) {
+          case OpKind::BatchMatmul: found_bmm = true; break;
+          case OpKind::Dense:       found_dense = true; break;
+          case OpKind::Softmax:     found_softmax = true; break;
+          default: break;
+        }
+    }
+    EXPECT_TRUE(found_bmm);
+    EXPECT_TRUE(found_dense);
+    EXPECT_TRUE(found_softmax);
+}
+
+TEST(Partition, EveryZooNetworkPartitions)
+{
+    for (const auto &name : allNetworkNames()) {
+        const Workload w = partitionGraph(buildNetwork(name));
+        EXPECT_GT(w.subgraphs.size(), 0u) << name;
+        EXPECT_EQ(w.subgraphs.size(), w.weights.size()) << name;
+        for (const auto &sg : w.subgraphs)
+            EXPECT_GT(sg->flops(), 0) << name;
+    }
+}
+
+} // namespace
+} // namespace tlp::ir

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit and property tests for the schedule generation policy.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "sketch/policy.h"
+#include "sketch/tiles.h"
+
+namespace tlp::sketch {
+namespace {
+
+ir::SubgraphPtr
+firstHeavySubgraph(const std::string &network)
+{
+    const auto w = ir::partitionGraph(ir::buildNetwork(network));
+    for (const auto &sg : w.subgraphs)
+        if (sg->anchorIndex() >= 0 && ir::isHeavyAnchor(sg->anchor().kind))
+            return sg;
+    ADD_FAILURE() << "no heavy subgraph in " << network;
+    return nullptr;
+}
+
+TEST(Tiles, DivisorsSorted)
+{
+    EXPECT_EQ(divisorsOf(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+}
+
+TEST(Tiles, SampledLengthsRespectExtent)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int64_t extent = rng.randint(1, 512);
+        const auto lengths = sampleTileLengths(rng, extent, 3);
+        int64_t product = 1;
+        for (int64_t len : lengths) {
+            EXPECT_GE(len, 1);
+            product *= len;
+        }
+        EXPECT_LE(product, std::max<int64_t>(extent, 1) * 2)
+            << "extent=" << extent;
+    }
+}
+
+TEST(Tiles, UnrollStepsAreAnsorCandidates)
+{
+    Rng rng(5);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(sampleUnrollStep(rng));
+    for (int64_t v : seen)
+        EXPECT_TRUE(v == 0 || v == 16 || v == 64 || v == 512);
+    EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(Policy, HeavyCpuScheduleIsWellFormed)
+{
+    auto sg = firstHeavySubgraph("resnet-18");
+    SchedulePolicy policy(sg, false);
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const sched::State state = policy.sampleRandom(rng);
+        EXPECT_GT(state.steps().size(), 5);
+        // Some stage must be parallel-annotated.
+        bool has_parallel = false;
+        for (const auto &stage : state.stages())
+            for (const auto &iter : stage.iters)
+                has_parallel |= iter.ann == sched::Annotation::Parallel;
+        EXPECT_TRUE(has_parallel);
+    }
+}
+
+TEST(Policy, HeavyGpuScheduleBindsBlockAndThread)
+{
+    auto sg = firstHeavySubgraph("resnet-18");
+    SchedulePolicy policy(sg, true);
+    Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        const sched::State state = policy.sampleRandom(rng);
+        bool has_block = false, has_thread = false;
+        for (const auto &stage : state.stages()) {
+            for (const auto &iter : stage.iters) {
+                has_block |= iter.ann == sched::Annotation::BlockX;
+                has_thread |= iter.ann == sched::Annotation::ThreadX;
+            }
+        }
+        EXPECT_TRUE(has_block);
+        EXPECT_TRUE(has_thread);
+    }
+}
+
+TEST(Policy, PopulationIsDeduplicated)
+{
+    auto sg = firstHeavySubgraph("resnet-18");
+    SchedulePolicy policy(sg, false);
+    Rng rng(3);
+    const auto population = policy.sampleInitPopulation(32, rng);
+    EXPECT_GE(population.size(), 16u);
+    std::set<uint64_t> hashes;
+    for (const auto &state : population)
+        hashes.insert(state.steps().hash());
+    EXPECT_EQ(hashes.size(), population.size());
+}
+
+TEST(Policy, MutationChangesSequenceButReplays)
+{
+    auto sg = firstHeavySubgraph("resnet-34");
+    SchedulePolicy policy(sg, false);
+    Rng rng(4);
+    const sched::State base = policy.sampleRandom(rng);
+    int changed = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        auto mutated = policy.mutate(base, rng);
+        ASSERT_TRUE(mutated.has_value());
+        EXPECT_EQ(mutated->steps().size(), base.steps().size());
+        if (mutated->steps().hash() != base.steps().hash())
+            ++changed;
+    }
+    EXPECT_GT(changed, 0);
+}
+
+TEST(Policy, SchedulesEveryResnetSubgraph)
+{
+    const auto w = ir::partitionGraph(ir::buildNetwork("resnet-18"));
+    Rng rng(5);
+    for (const auto &sg : w.subgraphs) {
+        SchedulePolicy policy(sg, false);
+        const sched::State state = policy.sampleRandom(rng);
+        EXPECT_GT(state.steps().size(), 0) << sg->key();
+    }
+}
+
+TEST(Policy, SchedulesEveryBertSubgraphOnGpu)
+{
+    const auto w = ir::partitionGraph(ir::buildNetwork("bert-tiny"));
+    Rng rng(6);
+    for (const auto &sg : w.subgraphs) {
+        SchedulePolicy policy(sg, true);
+        const sched::State state = policy.sampleRandom(rng);
+        EXPECT_GT(state.steps().size(), 0) << sg->key();
+    }
+}
+
+TEST(Policy, SequenceLengthsInPaperRange)
+{
+    // Paper Fig. 6: sequences up to ~54 primitives, mode around ~21.
+    Rng rng(7);
+    int64_t max_len = 0;
+    for (const auto &name : {"resnet-18", "bert-small", "mobilenet-v2"}) {
+        const auto w = ir::partitionGraph(ir::buildNetwork(name));
+        for (const auto &sg : w.subgraphs) {
+            SchedulePolicy policy(sg, false);
+            for (int trial = 0; trial < 3; ++trial) {
+                const auto state = policy.sampleRandom(rng);
+                max_len = std::max<int64_t>(max_len, state.steps().size());
+                EXPECT_LE(state.steps().size(), 80);
+            }
+        }
+    }
+    EXPECT_GE(max_len, 15);
+}
+
+TEST(Policy, ReplayedMutantsHaveConsistentStages)
+{
+    auto sg = firstHeavySubgraph("vgg-16");
+    SchedulePolicy policy(sg, false);
+    Rng rng(8);
+    const auto base = policy.sampleRandom(rng);
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto mutated = policy.mutate(base, rng);
+        ASSERT_TRUE(mutated.has_value());
+        EXPECT_EQ(mutated->numStages(), base.numStages());
+    }
+}
+
+} // namespace
+} // namespace tlp::sketch

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG, serialization, strings,
+ * statistics, tables, and arg parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/argparse.h"
+#include "support/config.h"
+#include "support/rng.h"
+#include "support/serialize.h"
+#include "support/stats.h"
+#include "support/str_util.h"
+#include "support/table.h"
+
+namespace tlp {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, RandintBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.randint(10);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 10);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.randint(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.normal());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        counts[rng.weightedIndex(weights)]++;
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(Hash, FnvAndCombineStable)
+{
+    const std::string text = "hello";
+    EXPECT_EQ(fnv1a(text.data(), text.size()),
+              fnv1a(text.data(), text.size()));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Serialize, RoundTripPodStringVector)
+{
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writeHeader(writer, 0xABCD, 3);
+        writer.writePod<int64_t>(-17);
+        writer.writeString("schedule");
+        writer.writeVector<float>({1.5f, -2.5f});
+    }
+    BinaryReader reader(ss);
+    readHeader(reader, 0xABCD, 3);
+    EXPECT_EQ(reader.readPod<int64_t>(), -17);
+    EXPECT_EQ(reader.readString(), "schedule");
+    const auto floats = reader.readVector<float>();
+    ASSERT_EQ(floats.size(), 2u);
+    EXPECT_FLOAT_EQ(floats[0], 1.5f);
+    EXPECT_FLOAT_EQ(floats[1], -2.5f);
+}
+
+TEST(StrUtil, SplitJoin)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, "/"), "a/b//c");
+}
+
+TEST(StrUtil, PrefixSuffixStrip)
+{
+    EXPECT_TRUE(startsWith("tensor", "ten"));
+    EXPECT_FALSE(startsWith("ten", "tensor"));
+    EXPECT_TRUE(endsWith("buffer.local", ".local"));
+    EXPECT_EQ(strip("  x \n"), "x");
+}
+
+TEST(StrUtil, Format)
+{
+    EXPECT_EQ(strFormat("%d-%s", 3, "x"), "3-x");
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(humanCount(1536000), "1.5M");
+}
+
+TEST(Stats, RunningStatMoments)
+{
+    RunningStat stat;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 4.0);
+    EXPECT_NEAR(stat.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, HistogramModeAndCounts)
+{
+    IntHistogram hist;
+    for (int64_t k : {3, 3, 3, 5, 7})
+        hist.add(k);
+    EXPECT_EQ(hist.total(), 5u);
+    EXPECT_EQ(hist.countOf(3), 3u);
+    EXPECT_EQ(hist.countOf(4), 0u);
+    EXPECT_EQ(hist.modeKey(), 3);
+    EXPECT_EQ(hist.minKey(), 3);
+    EXPECT_EQ(hist.maxKey(), 7);
+}
+
+TEST(Stats, PearsonAndSpearman)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+    std::vector<double> zs = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(spearman(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    TextTable table("title");
+    table.setHeader({"a", "bbb"});
+    table.addRow({"1", "2"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("bbb"), std::string::npos);
+}
+
+TEST(ArgParse, ParsesTypes)
+{
+    ArgParser parser("test");
+    parser.addInt("n", 5, "count");
+    parser.addString("name", "x", "name");
+    parser.addBool("flag", false, "flag");
+    parser.addDouble("rate", 0.5, "rate");
+    const char *argv[] = {"prog", "--n", "9", "--name=abc", "--flag",
+                          "--rate", "0.25"};
+    parser.parse(7, const_cast<char **>(argv));
+    EXPECT_EQ(parser.getInt("n"), 9);
+    EXPECT_EQ(parser.getString("name"), "abc");
+    EXPECT_TRUE(parser.getBool("flag"));
+    EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 0.25);
+}
+
+TEST(Config, ScaledCountHasFloor)
+{
+    EXPECT_GE(scaledCount(100, 10), 10);
+}
+
+} // namespace
+} // namespace tlp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Integration tests for the evolutionary search and tuning sessions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/model_zoo.h"
+#include "ir/partition.h"
+#include "models/cost_model.h"
+#include "tuner/session.h"
+
+namespace tlp::tune {
+namespace {
+
+ir::Workload
+tinyWorkload()
+{
+    // A small slice of ResNet-18: first few distinct subgraphs.
+    ir::Workload full = ir::partitionGraph(ir::buildNetwork("resnet-18"));
+    ir::Workload slim;
+    slim.name = "resnet-18-slice";
+    for (size_t i = 0; i < 3 && i < full.subgraphs.size(); ++i) {
+        slim.subgraphs.push_back(full.subgraphs[i]);
+        slim.weights.push_back(full.weights[i]);
+    }
+    return slim;
+}
+
+TuneOptions
+quickOptions()
+{
+    TuneOptions options;
+    options.rounds = 6;
+    options.measures_per_round = 4;
+    options.evolution.population = 24;
+    options.evolution.iterations = 2;
+    options.evolution.children_per_iter = 12;
+    options.measure.seconds_per_measure = 0.25;
+    return options;
+}
+
+TEST(Evolution, ReturnsRankedUnmeasuredCandidates)
+{
+    const auto workload = tinyWorkload();
+    sketch::SchedulePolicy policy(workload.subgraphs[0], false);
+    model::RandomCostModel cost_model(3);
+    Rng rng(4);
+    std::set<uint64_t> measured;
+    EvolutionOptions options;
+    options.population = 32;
+    options.iterations = 2;
+    const auto result = evolveOneRound(policy, cost_model, 0, 5, measured,
+                                       options, rng);
+    EXPECT_LE(result.candidates.size(), 5u);
+    EXPECT_GE(result.candidates.size(), 1u);
+    EXPECT_EQ(result.candidates.size(), result.scores.size());
+    EXPECT_GE(result.model_seconds, 0.0);
+    // Excluded hashes are respected.
+    std::set<uint64_t> returned;
+    for (const auto &state : result.candidates)
+        returned.insert(state.steps().hash());
+    EXPECT_EQ(returned.size(), result.candidates.size());
+}
+
+TEST(Evolution, ExclusionFilterWorks)
+{
+    const auto workload = tinyWorkload();
+    sketch::SchedulePolicy policy(workload.subgraphs[0], false);
+    model::RandomCostModel cost_model(5);
+    Rng rng(6);
+    EvolutionOptions options;
+    options.population = 16;
+    options.iterations = 1;
+    auto first = evolveOneRound(policy, cost_model, 0, 4, {}, options,
+                                rng);
+    std::set<uint64_t> measured;
+    for (const auto &state : first.candidates)
+        measured.insert(state.steps().hash());
+    Rng rng2(6);
+    auto second = evolveOneRound(policy, cost_model, 0, 4, measured,
+                                 options, rng2);
+    for (const auto &state : second.candidates)
+        EXPECT_EQ(measured.count(state.steps().hash()), 0u);
+}
+
+TEST(Session, ProducesMonotoneCurve)
+{
+    const auto workload = tinyWorkload();
+    model::RandomCostModel cost_model(7);
+    const auto result =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     cost_model, quickOptions());
+
+    EXPECT_GT(result.total_measurements, 0);
+    EXPECT_FALSE(result.curve.empty());
+    EXPECT_TRUE(std::isfinite(result.best_workload_latency_ms));
+    // Workload latency is non-increasing once finite.
+    double last = std::numeric_limits<double>::infinity();
+    for (const auto &point : result.curve) {
+        if (std::isfinite(point.workload_latency_ms)) {
+            EXPECT_LE(point.workload_latency_ms, last + 1e-9);
+            last = point.workload_latency_ms;
+        }
+        EXPECT_GT(point.search_seconds, 0.0);
+    }
+    EXPECT_NEAR(result.total_search_seconds,
+                result.measure_seconds + result.model_seconds, 1e-9);
+}
+
+TEST(Session, EveryTaskGetsARound)
+{
+    const auto workload = tinyWorkload();
+    model::RandomCostModel cost_model(8);
+    const auto result =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     cost_model, quickOptions());
+    for (double best : result.best_per_task_ms)
+        EXPECT_TRUE(std::isfinite(best));
+}
+
+TEST(Session, GuidedSearchBeatsFewRandomRounds)
+{
+    // With an online model, later rounds should find better programs
+    // than pure chance given the same budget. (Probabilistic but stable
+    // for fixed seeds.)
+    const auto workload = tinyWorkload();
+    TuneOptions options = quickOptions();
+    options.rounds = 9;
+
+    model::AnsorOnlineCostModel online;
+    const auto guided =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     online, options);
+
+    model::RandomCostModel random_model(9);
+    const auto random_result =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     random_model, options);
+
+    EXPECT_LE(guided.best_workload_latency_ms,
+              random_result.best_workload_latency_ms * 1.4);
+}
+
+TEST(Session, TimeToReachSemantics)
+{
+    TuneResult result;
+    result.curve = {{10, 1.0, 100.0}, {20, 2.0, 50.0}, {30, 3.0, 25.0}};
+    EXPECT_DOUBLE_EQ(result.timeToReach(60.0), 2.0);
+    EXPECT_DOUBLE_EQ(result.timeToReach(25.0), 3.0);
+    EXPECT_TRUE(std::isinf(result.timeToReach(1.0)));
+}
+
+TEST(Session, GpuWorkloadTunes)
+{
+    const auto workload = tinyWorkload();
+    model::RandomCostModel cost_model(10);
+    const auto result =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("tesla-t4"),
+                     cost_model, quickOptions());
+    EXPECT_TRUE(std::isfinite(result.best_workload_latency_ms));
+    EXPECT_GT(result.total_measurements, 0);
+}
+
+} // namespace
+} // namespace tlp::tune
