@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tuning_speed.dir/bench_fig10_tuning_speed.cc.o"
+  "CMakeFiles/bench_fig10_tuning_speed.dir/bench_fig10_tuning_speed.cc.o.d"
+  "bench_fig10_tuning_speed"
+  "bench_fig10_tuning_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tuning_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_search_time_vs_tenset.dir/bench_fig12_search_time_vs_tenset.cc.o"
+  "CMakeFiles/bench_fig12_search_time_vs_tenset.dir/bench_fig12_search_time_vs_tenset.cc.o.d"
+  "bench_fig12_search_time_vs_tenset"
+  "bench_fig12_search_time_vs_tenset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_search_time_vs_tenset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_search_time_vs_ansor.dir/bench_fig13_search_time_vs_ansor.cc.o"
+  "CMakeFiles/bench_fig13_search_time_vs_ansor.dir/bench_fig13_search_time_vs_ansor.cc.o.d"
+  "bench_fig13_search_time_vs_ansor"
+  "bench_fig13_search_time_vs_ansor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_search_time_vs_ansor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

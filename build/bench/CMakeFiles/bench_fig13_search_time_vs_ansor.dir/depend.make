@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_search_time_vs_ansor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_usage.dir/bench_resource_usage.cc.o"
+  "CMakeFiles/bench_resource_usage.dir/bench_resource_usage.cc.o.d"
+  "bench_resource_usage"
+  "bench_resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_loss_backbone.dir/bench_table3_loss_backbone.cc.o"
+  "CMakeFiles/bench_table3_loss_backbone.dir/bench_table3_loss_backbone.cc.o.d"
+  "bench_table3_loss_backbone"
+  "bench_table3_loss_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_loss_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_feature_crop.dir/bench_table4_feature_crop.cc.o"
+  "CMakeFiles/bench_table4_feature_crop.dir/bench_table4_feature_crop.cc.o.d"
+  "bench_table4_feature_crop"
+  "bench_table4_feature_crop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_feature_crop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

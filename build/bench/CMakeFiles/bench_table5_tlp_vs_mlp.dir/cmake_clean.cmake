@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tlp_vs_mlp.dir/bench_table5_tlp_vs_mlp.cc.o"
+  "CMakeFiles/bench_table5_tlp_vs_mlp.dir/bench_table5_tlp_vs_mlp.cc.o.d"
+  "bench_table5_tlp_vs_mlp"
+  "bench_table5_tlp_vs_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tlp_vs_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_mtl_gpu.dir/bench_table7_mtl_gpu.cc.o"
+  "CMakeFiles/bench_table7_mtl_gpu.dir/bench_table7_mtl_gpu.cc.o.d"
+  "bench_table7_mtl_gpu"
+  "bench_table7_mtl_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_mtl_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

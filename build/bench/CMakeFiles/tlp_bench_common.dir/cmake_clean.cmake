@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tlp_bench_common.dir/bench_common.cc.o.d"
+  "libtlp_bench_common.a"
+  "libtlp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_hardware_mtl.dir/cross_hardware_mtl.cpp.o"
+  "CMakeFiles/cross_hardware_mtl.dir/cross_hardware_mtl.cpp.o.d"
+  "cross_hardware_mtl"
+  "cross_hardware_mtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_hardware_mtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tune_workload.cpp" "examples/CMakeFiles/tune_workload.dir/tune_workload.cpp.o" "gcc" "examples/CMakeFiles/tune_workload.dir/tune_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/tlp_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/tlp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tlp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/tlp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/tlp_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/tlp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

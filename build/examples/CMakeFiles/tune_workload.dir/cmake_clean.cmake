@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_workload.dir/tune_workload.cpp.o"
+  "CMakeFiles/tune_workload.dir/tune_workload.cpp.o.d"
+  "tune_workload"
+  "tune_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/collect.cc" "src/dataset/CMakeFiles/tlp_dataset.dir/collect.cc.o" "gcc" "src/dataset/CMakeFiles/tlp_dataset.dir/collect.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/dataset/CMakeFiles/tlp_dataset.dir/dataset.cc.o" "gcc" "src/dataset/CMakeFiles/tlp_dataset.dir/dataset.cc.o.d"
+  "/root/repo/src/dataset/metrics.cc" "src/dataset/CMakeFiles/tlp_dataset.dir/metrics.cc.o" "gcc" "src/dataset/CMakeFiles/tlp_dataset.dir/metrics.cc.o.d"
+  "/root/repo/src/dataset/splits.cc" "src/dataset/CMakeFiles/tlp_dataset.dir/splits.cc.o" "gcc" "src/dataset/CMakeFiles/tlp_dataset.dir/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/tlp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/tlp_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/tlp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

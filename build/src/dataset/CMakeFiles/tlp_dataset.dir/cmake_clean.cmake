@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_dataset.dir/collect.cc.o"
+  "CMakeFiles/tlp_dataset.dir/collect.cc.o.d"
+  "CMakeFiles/tlp_dataset.dir/dataset.cc.o"
+  "CMakeFiles/tlp_dataset.dir/dataset.cc.o.d"
+  "CMakeFiles/tlp_dataset.dir/metrics.cc.o"
+  "CMakeFiles/tlp_dataset.dir/metrics.cc.o.d"
+  "CMakeFiles/tlp_dataset.dir/splits.cc.o"
+  "CMakeFiles/tlp_dataset.dir/splits.cc.o.d"
+  "libtlp_dataset.a"
+  "libtlp_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/ansor_features.cc" "src/features/CMakeFiles/tlp_features.dir/ansor_features.cc.o" "gcc" "src/features/CMakeFiles/tlp_features.dir/ansor_features.cc.o.d"
+  "/root/repo/src/features/tlp_features.cc" "src/features/CMakeFiles/tlp_features.dir/tlp_features.cc.o" "gcc" "src/features/CMakeFiles/tlp_features.dir/tlp_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

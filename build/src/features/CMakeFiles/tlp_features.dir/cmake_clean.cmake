@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_features.dir/ansor_features.cc.o"
+  "CMakeFiles/tlp_features.dir/ansor_features.cc.o.d"
+  "CMakeFiles/tlp_features.dir/tlp_features.cc.o"
+  "CMakeFiles/tlp_features.dir/tlp_features.cc.o.d"
+  "libtlp_features.a"
+  "libtlp_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/measurer.cc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/measurer.cc.o" "gcc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/measurer.cc.o.d"
+  "/root/repo/src/hwmodel/platform.cc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/platform.cc.o" "gcc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/platform.cc.o.d"
+  "/root/repo/src/hwmodel/simulator.cc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/simulator.cc.o" "gcc" "src/hwmodel/CMakeFiles/tlp_hwmodel.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

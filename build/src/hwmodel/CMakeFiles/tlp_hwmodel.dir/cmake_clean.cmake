@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_hwmodel.dir/measurer.cc.o"
+  "CMakeFiles/tlp_hwmodel.dir/measurer.cc.o.d"
+  "CMakeFiles/tlp_hwmodel.dir/platform.cc.o"
+  "CMakeFiles/tlp_hwmodel.dir/platform.cc.o.d"
+  "CMakeFiles/tlp_hwmodel.dir/simulator.cc.o"
+  "CMakeFiles/tlp_hwmodel.dir/simulator.cc.o.d"
+  "libtlp_hwmodel.a"
+  "libtlp_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dtype.cc" "src/ir/CMakeFiles/tlp_ir.dir/dtype.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/dtype.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/ir/CMakeFiles/tlp_ir.dir/graph.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/graph.cc.o.d"
+  "/root/repo/src/ir/loops.cc" "src/ir/CMakeFiles/tlp_ir.dir/loops.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/loops.cc.o.d"
+  "/root/repo/src/ir/model_zoo.cc" "src/ir/CMakeFiles/tlp_ir.dir/model_zoo.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/model_zoo.cc.o.d"
+  "/root/repo/src/ir/op.cc" "src/ir/CMakeFiles/tlp_ir.dir/op.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/op.cc.o.d"
+  "/root/repo/src/ir/partition.cc" "src/ir/CMakeFiles/tlp_ir.dir/partition.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/partition.cc.o.d"
+  "/root/repo/src/ir/subgraph.cc" "src/ir/CMakeFiles/tlp_ir.dir/subgraph.cc.o" "gcc" "src/ir/CMakeFiles/tlp_ir.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

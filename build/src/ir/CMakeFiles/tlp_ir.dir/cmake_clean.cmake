@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_ir.dir/dtype.cc.o"
+  "CMakeFiles/tlp_ir.dir/dtype.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/graph.cc.o"
+  "CMakeFiles/tlp_ir.dir/graph.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/loops.cc.o"
+  "CMakeFiles/tlp_ir.dir/loops.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/model_zoo.cc.o"
+  "CMakeFiles/tlp_ir.dir/model_zoo.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/op.cc.o"
+  "CMakeFiles/tlp_ir.dir/op.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/partition.cc.o"
+  "CMakeFiles/tlp_ir.dir/partition.cc.o.d"
+  "CMakeFiles/tlp_ir.dir/subgraph.cc.o"
+  "CMakeFiles/tlp_ir.dir/subgraph.cc.o.d"
+  "libtlp_ir.a"
+  "libtlp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_models.dir/cost_model.cc.o"
+  "CMakeFiles/tlp_models.dir/cost_model.cc.o.d"
+  "CMakeFiles/tlp_models.dir/gbdt.cc.o"
+  "CMakeFiles/tlp_models.dir/gbdt.cc.o.d"
+  "CMakeFiles/tlp_models.dir/pretrain.cc.o"
+  "CMakeFiles/tlp_models.dir/pretrain.cc.o.d"
+  "CMakeFiles/tlp_models.dir/tenset_mlp.cc.o"
+  "CMakeFiles/tlp_models.dir/tenset_mlp.cc.o.d"
+  "CMakeFiles/tlp_models.dir/tlp_model.cc.o"
+  "CMakeFiles/tlp_models.dir/tlp_model.cc.o.d"
+  "libtlp_models.a"
+  "libtlp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

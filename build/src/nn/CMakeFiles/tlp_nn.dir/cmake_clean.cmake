@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_nn.dir/losses.cc.o"
+  "CMakeFiles/tlp_nn.dir/losses.cc.o.d"
+  "CMakeFiles/tlp_nn.dir/modules.cc.o"
+  "CMakeFiles/tlp_nn.dir/modules.cc.o.d"
+  "CMakeFiles/tlp_nn.dir/ops.cc.o"
+  "CMakeFiles/tlp_nn.dir/ops.cc.o.d"
+  "CMakeFiles/tlp_nn.dir/optim.cc.o"
+  "CMakeFiles/tlp_nn.dir/optim.cc.o.d"
+  "CMakeFiles/tlp_nn.dir/tensor.cc.o"
+  "CMakeFiles/tlp_nn.dir/tensor.cc.o.d"
+  "libtlp_nn.a"
+  "libtlp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

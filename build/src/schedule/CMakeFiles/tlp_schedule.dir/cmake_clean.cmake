@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_schedule.dir/lower.cc.o"
+  "CMakeFiles/tlp_schedule.dir/lower.cc.o.d"
+  "CMakeFiles/tlp_schedule.dir/primitive.cc.o"
+  "CMakeFiles/tlp_schedule.dir/primitive.cc.o.d"
+  "CMakeFiles/tlp_schedule.dir/state.cc.o"
+  "CMakeFiles/tlp_schedule.dir/state.cc.o.d"
+  "libtlp_schedule.a"
+  "libtlp_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

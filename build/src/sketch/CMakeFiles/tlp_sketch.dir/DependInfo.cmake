@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/policy.cc" "src/sketch/CMakeFiles/tlp_sketch.dir/policy.cc.o" "gcc" "src/sketch/CMakeFiles/tlp_sketch.dir/policy.cc.o.d"
+  "/root/repo/src/sketch/tiles.cc" "src/sketch/CMakeFiles/tlp_sketch.dir/tiles.cc.o" "gcc" "src/sketch/CMakeFiles/tlp_sketch.dir/tiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_sketch.dir/policy.cc.o"
+  "CMakeFiles/tlp_sketch.dir/policy.cc.o.d"
+  "CMakeFiles/tlp_sketch.dir/tiles.cc.o"
+  "CMakeFiles/tlp_sketch.dir/tiles.cc.o.d"
+  "libtlp_sketch.a"
+  "libtlp_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

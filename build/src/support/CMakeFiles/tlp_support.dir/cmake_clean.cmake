@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_support.dir/argparse.cc.o"
+  "CMakeFiles/tlp_support.dir/argparse.cc.o.d"
+  "CMakeFiles/tlp_support.dir/config.cc.o"
+  "CMakeFiles/tlp_support.dir/config.cc.o.d"
+  "CMakeFiles/tlp_support.dir/logging.cc.o"
+  "CMakeFiles/tlp_support.dir/logging.cc.o.d"
+  "CMakeFiles/tlp_support.dir/rng.cc.o"
+  "CMakeFiles/tlp_support.dir/rng.cc.o.d"
+  "CMakeFiles/tlp_support.dir/serialize.cc.o"
+  "CMakeFiles/tlp_support.dir/serialize.cc.o.d"
+  "CMakeFiles/tlp_support.dir/stats.cc.o"
+  "CMakeFiles/tlp_support.dir/stats.cc.o.d"
+  "CMakeFiles/tlp_support.dir/str_util.cc.o"
+  "CMakeFiles/tlp_support.dir/str_util.cc.o.d"
+  "CMakeFiles/tlp_support.dir/table.cc.o"
+  "CMakeFiles/tlp_support.dir/table.cc.o.d"
+  "libtlp_support.a"
+  "libtlp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_tuner.dir/evolution.cc.o"
+  "CMakeFiles/tlp_tuner.dir/evolution.cc.o.d"
+  "CMakeFiles/tlp_tuner.dir/session.cc.o"
+  "CMakeFiles/tlp_tuner.dir/session.cc.o.d"
+  "libtlp_tuner.a"
+  "libtlp_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dataset.cc" "tests/CMakeFiles/tlp_tests.dir/test_dataset.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_dataset.cc.o.d"
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/tlp_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_hwmodel.cc" "tests/CMakeFiles/tlp_tests.dir/test_hwmodel.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_hwmodel.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/tlp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/tlp_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/tlp_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_nn.cc" "tests/CMakeFiles/tlp_tests.dir/test_nn.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_nn.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/tlp_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/tlp_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_schedule.cc" "tests/CMakeFiles/tlp_tests.dir/test_schedule.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_schedule.cc.o.d"
+  "/root/repo/tests/test_sketch.cc" "tests/CMakeFiles/tlp_tests.dir/test_sketch.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_sketch.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/tlp_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_tuner.cc" "tests/CMakeFiles/tlp_tests.dir/test_tuner.cc.o" "gcc" "tests/CMakeFiles/tlp_tests.dir/test_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/tlp_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/tlp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/tlp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tlp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/tlp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/tlp_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/tlp_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tlp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tlp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_tests.dir/test_dataset.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_dataset.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_features.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_features.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_hwmodel.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_hwmodel.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_integration.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_ir.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_ir.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_models.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_models.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_nn.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_nn.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_partition.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_partition.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_properties.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_schedule.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_schedule.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_sketch.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_sketch.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_support.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_support.cc.o.d"
+  "CMakeFiles/tlp_tests.dir/test_tuner.cc.o"
+  "CMakeFiles/tlp_tests.dir/test_tuner.cc.o.d"
+  "tlp_tests"
+  "tlp_tests.pdb"
+  "tlp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
