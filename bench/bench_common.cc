@@ -1,15 +1,77 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
-#include <sys/stat.h>
+#include <cstring>
+#include <fstream>
 
-#include "support/logging.h"
-#include "support/rng.h"
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
+#include "schedule/lower.h"
+#include "sketch/policy.h"
+#include "support/logging.h"
+#include "support/rng.h"
 #include "support/str_util.h"
 
 namespace tlp::bench {
+
+namespace {
+
+constexpr uint32_t kMemoMagic = 0x544c504d;   // "TLPM"
+constexpr uint32_t kMemoVersion = 1;
+
+uint64_t
+mixDouble(uint64_t hash, double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return hashCombine(hash, bits);
+}
+
+/**
+ * Fingerprint of everything that determines a memoized dataset's
+ * contents: the on-disk format version, the collection options, and a
+ * behavioral probe of the sampling + lowering + measurement pipeline
+ * (one fixed schedule labeled on every platform), so simulator or
+ * sketch-rule changes invalidate stale memos instead of being silently
+ * served stale labels.
+ */
+uint64_t
+collectionFingerprint(const data::CollectOptions &options)
+{
+    uint64_t hash = data::Dataset::kFormatVersion;
+    for (const auto &network : options.networks)
+        hash = hashCombine(hash, fnv1a(network.data(), network.size()));
+    for (const auto &platform : options.platforms)
+        hash = hashCombine(hash, fnv1a(platform.data(), platform.size()));
+    hash = hashCombine(hash, options.is_gpu ? 1 : 0);
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.programs_per_subgraph));
+    hash = hashCombine(hash, options.seed);
+    hash = mixDouble(hash, options.measure_noise);
+    hash = hashCombine(hash, options.faults.digest());
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.measure_retries));
+
+    const ir::Workload probe_workload =
+        ir::partitionGraph(ir::buildNetwork("resnet-18"));
+    const auto &subgraph = probe_workload.subgraphs.front();
+    sketch::SchedulePolicy policy(subgraph, options.is_gpu);
+    Rng rng(0xbead);
+    const auto population = policy.sampleInitPopulation(1, rng);
+    TLP_CHECK(!population.empty(), "empty probe population");
+    const auto nest = sched::lower(population.front());
+    for (const auto &platform : options.platforms) {
+        hw::MeasureOptions measure_options;
+        measure_options.noise_std = options.measure_noise;
+        hw::Measurer measurer(hw::HardwarePlatform::preset(platform),
+                              measure_options, options.seed);
+        hash = mixDouble(hash, measurer.measureMs(nest));
+    }
+    return hash;
+}
+
+} // namespace
 
 std::vector<std::string>
 benchTrainNetworks()
@@ -45,18 +107,47 @@ standardDataset(const std::vector<std::string> &platforms, bool is_gpu)
     key += "_" + std::to_string(programs);
     const std::string path = "/tmp/tlp_bench_" + key + ".bin";
 
-    struct stat st;
-    if (stat(path.c_str(), &st) == 0)
-        return data::Dataset::load(path);
-
     data::CollectOptions options;
     options.networks = benchNetworks();
     options.platforms = platforms;
     options.is_gpu = is_gpu;
     options.programs_per_subgraph = static_cast<int>(programs);
     options.seed = 0xda7a;
+
+    // The memo is stamped with a fingerprint of the format version, the
+    // collection options and a behavioral probe; any mismatch (including
+    // a short or garbled file) regenerates instead of serving stale
+    // labels.
+    const uint64_t fingerprint = collectionFingerprint(options);
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (is) {
+            uint32_t magic = 0;
+            uint32_t version = 0;
+            uint64_t stamp = 0;
+            is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+            is.read(reinterpret_cast<char *>(&version), sizeof(version));
+            is.read(reinterpret_cast<char *>(&stamp), sizeof(stamp));
+            if (is.good() && magic == kMemoMagic &&
+                version == kMemoVersion && stamp == fingerprint) {
+                return data::Dataset::load(is);
+            }
+            inform("bench memo ", path,
+                   " is stale or foreign; regenerating");
+        }
+    }
+
     data::Dataset dataset = data::collectDataset(options);
-    dataset.save(path);
+    {
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            TLP_FATAL("cannot open for write: ", path);
+        BinaryWriter writer(os);
+        writeHeader(writer, kMemoMagic, kMemoVersion);
+        writer.writePod(fingerprint);
+        dataset.save(os);
+        TLP_CHECK(os.good(), "bench memo write failed: ", path);
+    }
     return dataset;
 }
 

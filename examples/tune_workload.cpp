@@ -5,9 +5,14 @@
  *
  * Usage: tune_workload [--network resnet-18] [--platform i7-10510u]
  *                      [--model ansor|random|tlp] [--rounds 20]
+ *                      [--fault-rate 0.1] [--retries 2]
+ *                      [--checkpoint tune.ckpt] [--resume tune.ckpt]
  *
  * The "tlp" model is pretrained on a freshly collected mini dataset
  * before tuning starts (a minute or so); "ansor" trains online.
+ * --fault-rate injects deterministic measurement failures (compile
+ * errors, timeouts, runtime errors, outliers in equal parts); --resume
+ * continues a checkpointed campaign after a crash or kill.
  */
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +36,13 @@ main(int argc, char **argv)
     args.addString("model", "ansor", "cost model: ansor|random|tlp");
     args.addInt("rounds", 20, "tuning rounds");
     args.addInt("seed", 1, "search seed");
+    args.addDouble("fault-rate", 0.0,
+                   "injected measurement fault rate in [0, 1)");
+    args.addInt("retries", 2, "retries for transient measurement faults");
+    args.addString("checkpoint", "",
+                   "checkpoint file written every few rounds");
+    args.addString("resume", "",
+                   "resume from this checkpoint (implies --checkpoint)");
     args.parse(argc, argv);
 
     const auto platform =
@@ -79,6 +91,17 @@ main(int argc, char **argv)
                  static_cast<int>(workload.subgraphs.size()));
     options.seed = static_cast<uint64_t>(args.getInt("seed"));
     options.verbose = true;
+    const double fault_rate = args.getDouble("fault-rate");
+    if (fault_rate < 0.0 || fault_rate >= 1.0)
+        TLP_FATAL("--fault-rate must be in [0, 1), got ", fault_rate);
+    if (fault_rate > 0.0)
+        options.measure.faults = hw::FaultProfile::uniform(fault_rate);
+    options.measure.max_retries = static_cast<int>(args.getInt("retries"));
+    options.checkpoint_path = args.getString("checkpoint");
+    if (!args.getString("resume").empty()) {
+        options.checkpoint_path = args.getString("resume");
+        options.resume = true;
+    }
     const auto result =
         tune::tuneWorkload(workload, platform, *cost_model, options);
 
@@ -89,5 +112,12 @@ main(int argc, char **argv)
     std::printf("search time: %.1f s simulated measurement + %.2f s "
                 "model/features\n",
                 result.measure_seconds, result.model_seconds);
+    if (result.failed_measurements > 0) {
+        std::printf("measurement failures: %lld (%.1f s wasted, %lld "
+                    "candidates quarantined)\n",
+                    static_cast<long long>(result.failed_measurements),
+                    result.wasted_measure_seconds,
+                    static_cast<long long>(result.quarantined_candidates));
+    }
     return 0;
 }

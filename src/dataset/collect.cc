@@ -1,5 +1,6 @@
 #include "dataset/collect.h"
 
+#include <limits>
 #include <map>
 
 #include "hwmodel/measurer.h"
@@ -25,6 +26,8 @@ collectDataset(const CollectOptions &options)
     for (const auto &platform : options.platforms) {
         hw::MeasureOptions measure_options;
         measure_options.noise_std = options.measure_noise;
+        measure_options.faults = options.faults;
+        measure_options.max_retries = options.measure_retries;
         measurers.emplace_back(hw::HardwarePlatform::preset(platform),
                                measure_options, options.seed);
     }
@@ -62,8 +65,19 @@ collectDataset(const CollectOptions &options)
                     const auto nest = sched::lower(state);
                     record.latency_ms.reserve(measurers.size());
                     for (auto &measurer : measurers) {
+                        // Failed measurements become NaN labels — the
+                        // same representation as MTL's partially labeled
+                        // tuples, so downstream losses skip them.
+                        const auto result = measurer.measure(nest);
                         record.latency_ms.push_back(
-                            static_cast<float>(measurer.measureMs(nest)));
+                            result.ok() ? static_cast<float>(
+                                              result.latency_ms)
+                                        : std::numeric_limits<
+                                              float>::quiet_NaN());
+                        if (!result.ok()) {
+                            dataset.failure_counts[hw::measureStatusName(
+                                result.status)] += 1;
+                        }
                     }
                     dataset.records.push_back(std::move(record));
                 }

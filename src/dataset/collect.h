@@ -10,6 +10,7 @@
 #pragma once
 
 #include "dataset/dataset.h"
+#include "hwmodel/measurer.h"
 
 namespace tlp::data {
 
@@ -22,6 +23,11 @@ struct CollectOptions
     int programs_per_subgraph = 128;
     uint64_t seed = 0xda7a;
     double measure_noise = 0.02;
+    /** Fault injection for the measurement campaign (default: none).
+     *  Failed measurements become NaN labels and are tallied in
+     *  Dataset::failure_counts. */
+    hw::FaultProfile faults;
+    int measure_retries = 2;              ///< retries for transient faults
 };
 
 /** Collect a dataset according to @p options. */

@@ -12,7 +12,6 @@ namespace tlp::data {
 namespace {
 
 constexpr uint32_t kMagic = 0x544c5044;   // "TLPD"
-constexpr uint32_t kVersion = 1;
 
 } // namespace
 
@@ -70,8 +69,15 @@ Dataset::save(const std::string &path) const
     std::ofstream os(path, std::ios::binary);
     if (!os)
         TLP_FATAL("cannot open for write: ", path);
+    save(os);
+    TLP_CHECK(os.good(), "write failed: ", path);
+}
+
+void
+Dataset::save(std::ostream &os) const
+{
     BinaryWriter writer(os);
-    writeHeader(writer, kMagic, kVersion);
+    writeHeader(writer, kMagic, kFormatVersion);
     writer.writePod<uint8_t>(is_gpu ? 1 : 0);
     writer.writePod<uint32_t>(static_cast<uint32_t>(platforms.size()));
     for (const auto &platform : platforms)
@@ -97,7 +103,12 @@ Dataset::save(const std::string &path) const
             writer.writePod<int32_t>(weight);
         }
     }
-    TLP_CHECK(writer.good(), "write failed: ", path);
+    writer.writePod<uint32_t>(static_cast<uint32_t>(failure_counts.size()));
+    for (const auto &[status, count] : failure_counts) {
+        writer.writeString(status);
+        writer.writePod<int64_t>(count);
+    }
+    TLP_CHECK(writer.good(), "dataset write failed");
 }
 
 Dataset
@@ -106,8 +117,14 @@ Dataset::load(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         TLP_FATAL("cannot open for read: ", path);
+    return load(is);
+}
+
+Dataset
+Dataset::load(std::istream &is)
+{
     BinaryReader reader(is);
-    readHeader(reader, kMagic, kVersion);
+    const uint32_t version = readHeader(reader, kMagic, kFormatVersion);
 
     Dataset dataset;
     dataset.is_gpu = reader.readPod<uint8_t>() != 0;
@@ -141,6 +158,13 @@ Dataset::load(const std::string &path)
             const auto group = reader.readPod<int32_t>();
             const auto weight = reader.readPod<int32_t>();
             entries.push_back({group, weight});
+        }
+    }
+    if (version >= 2) {
+        const auto num_statuses = reader.readPod<uint32_t>();
+        for (uint32_t i = 0; i < num_statuses; ++i) {
+            const std::string status = reader.readString();
+            dataset.failure_counts[status] = reader.readPod<int64_t>();
         }
     }
     return dataset;

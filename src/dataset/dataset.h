@@ -49,6 +49,9 @@ struct SubgraphGroup
 class Dataset
 {
   public:
+    /** Current on-disk format version (header version of save()). */
+    static constexpr uint32_t kFormatVersion = 2;
+
     /** Hardware platform names, defining the label axes. */
     std::vector<std::string> platforms;
     /** True when schedules were generated with the GPU sketch rules. */
@@ -58,6 +61,11 @@ class Dataset
     std::vector<ProgramRecord> records;
     /** network name -> (group index, occurrence weight). */
     std::map<std::string, std::vector<std::pair<int, int>>> network_groups;
+    /**
+     * Measurement-campaign failure counts by class name (e.g.
+     * "timeout"); failed measurements leave NaN labels in the records.
+     */
+    std::map<std::string, int64_t> failure_counts;
 
     /** Index of @p platform; fatal when absent. */
     int platformIndex(const std::string &platform) const;
@@ -76,6 +84,10 @@ class Dataset
 
     void save(const std::string &path) const;
     static Dataset load(const std::string &path);
+
+    /** Stream variants, for embedding a dataset in a larger file. */
+    void save(std::ostream &os) const;
+    static Dataset load(std::istream &is);
 
     // --- statistics (paper Fig. 6, Table 1, Sec. 4.3) ---
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/rng.h"
+
 namespace tlp::sched {
 
 std::vector<int64_t>
@@ -152,6 +154,35 @@ printStage(const LoweredNest &nest, int stage_index, int depth,
 }
 
 } // namespace
+
+uint64_t
+LoweredNest::fingerprint() const
+{
+    uint64_t hash = fnv1a(subgraph->key().data(), subgraph->key().size());
+    hash = hashCombine(hash, is_gpu ? 1 : 0);
+    auto mix = [&hash](uint64_t value) { hash = hashCombine(hash, value); };
+    for (const LoweredStage &stage : stages) {
+        mix(fnv1a(stage.name.data(), stage.name.size()));
+        mix(static_cast<uint64_t>(stage.op_index + 1));
+        mix((stage.is_placeholder ? 1u : 0u) |
+            (stage.is_cache_stage ? 2u : 0u) |
+            (static_cast<uint64_t>(stage.loc) << 2));
+        mix(static_cast<uint64_t>(stage.at_stage + 1));
+        mix(static_cast<uint64_t>(stage.at_iter + 1));
+        mix(static_cast<uint64_t>(stage.pragma_unroll));
+        mix(static_cast<uint64_t>(stage.storage_align));
+        for (const LoweredLoop &loop : stage.loops) {
+            mix(static_cast<uint64_t>(loop.extent));
+            mix((loop.is_reduction ? 1u : 0u) |
+                (static_cast<uint64_t>(loop.ann) << 1));
+            for (const auto &[iter, covered] : loop.coverage) {
+                mix(static_cast<uint64_t>(iter + 1));
+                mix(static_cast<uint64_t>(covered));
+            }
+        }
+    }
+    return hash;
+}
 
 std::string
 LoweredNest::prettyPrint() const

@@ -81,6 +81,14 @@ struct LoweredNest
 
     /** Pseudo-code rendering of the program. */
     std::string prettyPrint() const;
+
+    /**
+     * Stable structural hash of the lowered program: a function of the
+     * subgraph identity plus every field the latency simulator reads.
+     * Used as the per-candidate key for deterministic measurement-fault
+     * injection and quarantine (hwmodel).
+     */
+    uint64_t fingerprint() const;
 };
 
 /** Lower @p state to its loop-nest program. */

@@ -152,4 +152,24 @@ Rng::fork()
     return Rng(next());
 }
 
+void
+Rng::serialize(BinaryWriter &writer) const
+{
+    for (uint64_t word : state_)
+        writer.writePod(word);
+    writer.writePod<uint8_t>(has_cached_normal_ ? 1 : 0);
+    writer.writePod(cached_normal_);
+}
+
+Rng
+Rng::deserialize(BinaryReader &reader)
+{
+    Rng rng;
+    for (auto &word : rng.state_)
+        word = reader.readPod<uint64_t>();
+    rng.has_cached_normal_ = reader.readPod<uint8_t>() != 0;
+    rng.cached_normal_ = reader.readPod<double>();
+    return rng;
+}
+
 } // namespace tlp

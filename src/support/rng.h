@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/logging.h"
+#include "support/serialize.h"
 
 namespace tlp {
 
@@ -73,6 +74,13 @@ class Rng
 
     /** Derive an independent child generator (for parallel components). */
     Rng fork();
+
+    /**
+     * Persist the exact generator state (for checkpoint/resume). A
+     * deserialized Rng continues the stream bit-identically.
+     */
+    void serialize(BinaryWriter &writer) const;
+    static Rng deserialize(BinaryReader &reader);
 
   private:
     uint64_t state_[4];

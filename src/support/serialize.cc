@@ -16,7 +16,9 @@ BinaryReader::readString()
     std::string value(size, '\0');
     if (size > 0) {
         is_.read(value.data(), static_cast<std::streamsize>(size));
-        TLP_CHECK(is_.good(), "truncated binary stream");
+        if (!is_.good())
+            TLP_FATAL("truncated binary stream: wanted ", size,
+                      " more bytes");
     }
     return value;
 }
@@ -28,7 +30,7 @@ writeHeader(BinaryWriter &writer, uint32_t magic, uint32_t version)
     writer.writePod(version);
 }
 
-void
+uint32_t
 readHeader(BinaryReader &reader, uint32_t magic, uint32_t max_version)
 {
     const auto got_magic = reader.readPod<uint32_t>();
@@ -39,6 +41,7 @@ readHeader(BinaryReader &reader, uint32_t magic, uint32_t max_version)
         TLP_FATAL("file version ", version,
                   " is newer than supported version ", max_version);
     }
+    return version;
 }
 
 } // namespace tlp

@@ -73,7 +73,9 @@ class BinaryReader
         static_assert(std::is_trivially_copyable_v<T>);
         T value{};
         is_.read(reinterpret_cast<char *>(&value), sizeof(T));
-        TLP_CHECK(is_.good(), "truncated binary stream");
+        if (!is_.good())
+            TLP_FATAL("truncated binary stream: wanted ", sizeof(T),
+                      " more bytes");
         return value;
     }
 
@@ -91,7 +93,9 @@ class BinaryReader
         if (count > 0) {
             is_.read(reinterpret_cast<char *>(values.data()),
                      static_cast<std::streamsize>(count * sizeof(T)));
-            TLP_CHECK(is_.good(), "truncated binary stream");
+            if (!is_.good())
+                TLP_FATAL("truncated binary stream: wanted ",
+                          count * sizeof(T), " more bytes");
         }
         return values;
     }
@@ -103,7 +107,14 @@ class BinaryReader
 /** Write the standard file header (magic + version). */
 void writeHeader(BinaryWriter &writer, uint32_t magic, uint32_t version);
 
-/** Read and validate the standard file header; fatal on mismatch. */
-void readHeader(BinaryReader &reader, uint32_t magic, uint32_t max_version);
+/**
+ * Read and validate the standard file header; fatal on a magic mismatch
+ * or a version newer than @p max_version.
+ *
+ * @return the version found in the stream, so readers can keep loading
+ *         older formats.
+ */
+uint32_t readHeader(BinaryReader &reader, uint32_t magic,
+                    uint32_t max_version);
 
 } // namespace tlp

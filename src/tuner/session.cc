@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "schedule/lower.h"
 #include "support/logging.h"
@@ -10,6 +13,9 @@
 namespace tlp::tune {
 
 namespace {
+
+constexpr uint32_t kSessionMagic = 0x544c5053;   // "TLPS"
+constexpr uint32_t kSessionVersion = 1;
 
 double
 now()
@@ -29,6 +35,187 @@ struct TaskState
     double last_improvement = 1.0;
     std::set<uint64_t> measured_hashes;
 };
+
+/** Successful measurements of one round, kept for model replay. */
+struct RoundHistory
+{
+    int task_id = 0;
+    std::vector<sched::PrimitiveSeq> seqs;
+    std::vector<double> latency_ms;
+};
+
+/** Everything a resumed session needs to continue bit-identically. */
+struct SessionState
+{
+    int rounds_done = 0;
+    Rng rng{0};
+    TuneResult result;
+    std::vector<RoundHistory> history;
+};
+
+uint64_t
+mixDouble(uint64_t hash, double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return hashCombine(hash, bits);
+}
+
+/**
+ * Digest of everything that determines the session trajectory. A
+ * checkpoint taken under one configuration must not silently resume
+ * under another.
+ */
+uint64_t
+configDigest(const ir::Workload &workload,
+             const hw::HardwarePlatform &platform,
+             const TuneOptions &options)
+{
+    uint64_t hash = options.seed;
+    for (size_t i = 0; i < workload.subgraphs.size(); ++i) {
+        const std::string &key = workload.subgraphs[i]->key();
+        hash = hashCombine(hash, fnv1a(key.data(), key.size()));
+        hash = hashCombine(hash,
+                           static_cast<uint64_t>(workload.weights[i]));
+    }
+    hash = hashCombine(hash, fnv1a(platform.name.data(),
+                                   platform.name.size()));
+    // options.rounds is deliberately NOT digested: the total budget only
+    // decides when to stop, so a killed campaign may resume with a
+    // larger one.
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.measures_per_round));
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.evolution.population));
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.evolution.iterations));
+    hash = hashCombine(
+        hash, static_cast<uint64_t>(options.evolution.children_per_iter));
+    hash = mixDouble(hash, options.evolution.eps_greedy);
+    hash = hashCombine(hash, static_cast<uint64_t>(options.measure.repeats));
+    hash = mixDouble(hash, options.measure.noise_std);
+    hash = mixDouble(hash, options.measure.seconds_per_measure);
+    hash = hashCombine(hash,
+                       static_cast<uint64_t>(options.measure.max_retries));
+    hash = hashCombine(
+        hash, static_cast<uint64_t>(options.measure.quarantine_after));
+    hash = hashCombine(hash, options.measure.faults.digest());
+    return hash;
+}
+
+void
+saveCheckpoint(const std::string &path, uint64_t digest,
+               const SessionState &session,
+               const std::vector<TaskState> &tasks,
+               const hw::Measurer &measurer)
+{
+    // Write to a temp file and rename so a crash mid-write never
+    // clobbers the previous good checkpoint.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream os(tmp_path, std::ios::binary);
+        if (!os)
+            TLP_FATAL("cannot open checkpoint for write: ", tmp_path);
+        BinaryWriter writer(os);
+        writeHeader(writer, kSessionMagic, kSessionVersion);
+        writer.writePod(digest);
+        writer.writePod<int32_t>(session.rounds_done);
+        session.rng.serialize(writer);
+        measurer.serializeState(writer);
+
+        const TuneResult &result = session.result;
+        writer.writePod(result.model_seconds);
+        writer.writePod(result.total_measurements);
+        writer.writeVector(result.curve);
+        writer.writeVector(result.best_per_task_ms);
+
+        writer.writePod<uint32_t>(static_cast<uint32_t>(tasks.size()));
+        for (const TaskState &task : tasks) {
+            writer.writePod(task.best_ms);
+            writer.writePod<int32_t>(task.rounds_done);
+            writer.writePod(task.last_improvement);
+            std::vector<uint64_t> hashes(task.measured_hashes.begin(),
+                                         task.measured_hashes.end());
+            writer.writeVector(hashes);
+        }
+
+        writer.writePod<uint64_t>(session.history.size());
+        for (const RoundHistory &round : session.history) {
+            writer.writePod<int32_t>(round.task_id);
+            writer.writePod<uint32_t>(
+                static_cast<uint32_t>(round.seqs.size()));
+            for (size_t i = 0; i < round.seqs.size(); ++i) {
+                round.seqs[i].serialize(writer);
+                writer.writePod(round.latency_ms[i]);
+            }
+        }
+        TLP_CHECK(writer.good(), "checkpoint write failed: ", tmp_path);
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
+        TLP_FATAL("cannot move checkpoint into place: ", path);
+}
+
+SessionState
+loadCheckpoint(const std::string &path, uint64_t digest,
+               std::vector<TaskState> &tasks, hw::Measurer &measurer)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        TLP_FATAL("cannot open checkpoint for read: ", path);
+    BinaryReader reader(is);
+    readHeader(reader, kSessionMagic, kSessionVersion);
+    const auto saved_digest = reader.readPod<uint64_t>();
+    if (saved_digest != digest) {
+        TLP_FATAL("checkpoint ", path,
+                  " was taken under a different session configuration "
+                  "(workload, platform, seed, or options changed)");
+    }
+
+    SessionState session;
+    session.rounds_done = reader.readPod<int32_t>();
+    session.rng = Rng::deserialize(reader);
+    measurer.deserializeState(reader);
+
+    session.result.model_seconds = reader.readPod<double>();
+    session.result.total_measurements = reader.readPod<int64_t>();
+    session.result.curve = reader.readVector<CurvePoint>();
+    session.result.best_per_task_ms = reader.readVector<double>();
+
+    const auto num_tasks = reader.readPod<uint32_t>();
+    if (num_tasks != tasks.size()) {
+        TLP_FATAL("checkpoint ", path, " has ", num_tasks,
+                  " tasks, session has ", tasks.size());
+    }
+    for (TaskState &task : tasks) {
+        task.best_ms = reader.readPod<double>();
+        task.rounds_done = reader.readPod<int32_t>();
+        task.last_improvement = reader.readPod<double>();
+        const auto hashes = reader.readVector<uint64_t>();
+        task.measured_hashes.insert(hashes.begin(), hashes.end());
+    }
+
+    const auto num_rounds = reader.readPod<uint64_t>();
+    session.history.reserve(num_rounds);
+    for (uint64_t r = 0; r < num_rounds; ++r) {
+        RoundHistory round;
+        round.task_id = reader.readPod<int32_t>();
+        const auto count = reader.readPod<uint32_t>();
+        for (uint32_t i = 0; i < count; ++i) {
+            round.seqs.push_back(sched::PrimitiveSeq::deserialize(reader));
+            round.latency_ms.push_back(reader.readPod<double>());
+        }
+        session.history.push_back(std::move(round));
+    }
+    return session;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is.good();
+}
 
 } // namespace
 
@@ -60,11 +247,46 @@ tuneWorkload(const ir::Workload &workload,
     }
 
     hw::Measurer measurer(platform, options.measure, options.seed);
-    Rng rng(options.seed);
+    const uint64_t digest = configDigest(workload, platform, options);
+    const bool checkpointing = !options.checkpoint_path.empty();
 
-    TuneResult result;
-    result.best_per_task_ms.assign(tasks.size(),
-                                   std::numeric_limits<double>::infinity());
+    SessionState session;
+    session.rng = Rng(options.seed);
+    session.result.best_per_task_ms.assign(
+        tasks.size(), std::numeric_limits<double>::infinity());
+
+    if (options.resume && checkpointing &&
+        !fileExists(options.checkpoint_path)) {
+        inform("no checkpoint at ", options.checkpoint_path,
+               "; starting a fresh session");
+    }
+    if (options.resume && checkpointing &&
+        fileExists(options.checkpoint_path)) {
+        session = loadCheckpoint(options.checkpoint_path, digest, tasks,
+                                 measurer);
+        // Rebuild the online model by replaying the measured history in
+        // the original round order; pretrained models ignore update().
+        for (const RoundHistory &round : session.history) {
+            std::vector<sched::State> states;
+            states.reserve(round.seqs.size());
+            const auto &subgraph =
+                tasks[static_cast<size_t>(round.task_id)].subgraph;
+            for (const auto &seq : round.seqs) {
+                states.push_back(
+                    sched::replaySteps(subgraph, platform.is_gpu, seq));
+            }
+            std::vector<const sched::State *> state_ptrs;
+            for (const auto &state : states)
+                state_ptrs.push_back(&state);
+            cost_model.update(round.task_id, state_ptrs, round.latency_ms);
+        }
+        if (options.verbose) {
+            inform("resumed session from ", options.checkpoint_path,
+                   " at round ", session.rounds_done);
+        }
+    }
+
+    TuneResult &result = session.result;
 
     auto workloadLatency = [&]() {
         double total = 0.0;
@@ -97,7 +319,7 @@ tuneWorkload(const ir::Workload &workload,
         return best_index;
     };
 
-    for (int round = 0; round < options.rounds; ++round) {
+    for (int round = session.rounds_done; round < options.rounds; ++round) {
         const size_t task_index = pickTask();
         TaskState &task = tasks[task_index];
         const int task_id = static_cast<int>(task_index);
@@ -105,8 +327,9 @@ tuneWorkload(const ir::Workload &workload,
         EvolutionResult evolution = evolveOneRound(
             policies[task_index], cost_model, task_id,
             options.measures_per_round, task.measured_hashes,
-            options.evolution, rng);
+            options.evolution, session.rng);
         result.model_seconds += evolution.model_seconds;
+        session.rounds_done = round + 1;
 
         if (evolution.candidates.empty()) {
             task.rounds_done += 1;
@@ -114,24 +337,37 @@ tuneWorkload(const ir::Workload &workload,
         }
 
         // Measure the picked candidates on the (simulated) hardware.
+        // Failed measurements burn wall clock but contribute neither to
+        // the best-latency curve nor to the online model; every measured
+        // hash is recorded so failing candidates are not re-proposed.
         const double before_best = task.best_ms;
         std::vector<const sched::State *> measured_states;
         std::vector<double> measured_latency;
+        RoundHistory round_history;
+        round_history.task_id = task_id;
         for (const auto &state : evolution.candidates) {
             const auto nest = sched::lower(state);
-            const double latency = measurer.measureMs(nest);
+            const auto measured = measurer.measure(nest);
             task.measured_hashes.insert(state.steps().hash());
+            if (!measured.ok())
+                continue;
             measured_states.push_back(&state);
-            measured_latency.push_back(latency);
-            task.best_ms = std::min(task.best_ms, latency);
+            measured_latency.push_back(measured.latency_ms);
+            round_history.seqs.push_back(state.steps());
+            round_history.latency_ms.push_back(measured.latency_ms);
+            task.best_ms = std::min(task.best_ms, measured.latency_ms);
         }
         result.total_measurements +=
-            static_cast<int64_t>(measured_latency.size());
+            static_cast<int64_t>(evolution.candidates.size());
 
-        // Online model update (no-op for pretrained models).
-        const double t0 = now();
-        cost_model.update(task_id, measured_states, measured_latency);
-        result.model_seconds += now() - t0;
+        // Online model update (no-op for pretrained models); only valid
+        // latencies may reach the model.
+        if (!measured_states.empty()) {
+            const double t0 = now();
+            cost_model.update(task_id, measured_states, measured_latency);
+            result.model_seconds += now() - t0;
+            session.history.push_back(std::move(round_history));
+        }
 
         task.last_improvement =
             std::isfinite(before_best) && before_best > 0.0
@@ -152,12 +388,27 @@ tuneWorkload(const ir::Workload &workload,
                    task.best_ms, "ms workload ",
                    point.workload_latency_ms, "ms");
         }
+
+        if (checkpointing && options.checkpoint_every > 0 &&
+            (session.rounds_done % options.checkpoint_every == 0 ||
+             round + 1 == options.rounds)) {
+            saveCheckpoint(options.checkpoint_path, digest, session,
+                           tasks, measurer);
+        }
     }
 
     result.best_workload_latency_ms = workloadLatency();
     result.measure_seconds = measurer.elapsedSeconds();
     result.total_search_seconds =
         result.measure_seconds + result.model_seconds;
+
+    const auto &counts = measurer.statusCounts();
+    result.status_counts.assign(counts.begin(), counts.end());
+    result.failed_measurements = 0;
+    for (int s = 1; s < hw::kNumMeasureStatuses; ++s)
+        result.failed_measurements += counts[static_cast<size_t>(s)];
+    result.wasted_measure_seconds = measurer.failureSeconds();
+    result.quarantined_candidates = measurer.quarantineSize();
     return result;
 }
 

@@ -13,6 +13,15 @@
  * real hardware) + real wall clock spent in the cost model and feature
  * extraction. The latter is where TLP beats lowering-based baselines
  * (Fig. 10).
+ *
+ * The session tolerates measurement failures (hw::FaultProfile): failed
+ * candidates never update the online model or the best-latency curve —
+ * the curve stays monotone under any fault rate — but their wall clock
+ * still counts as search time. Sessions can also checkpoint to disk
+ * every N rounds and resume after a crash; the resumed run reproduces
+ * the uninterrupted run's curve exactly in measurement counts, latencies
+ * and simulated measurement seconds (model wall clock is real time and
+ * therefore only approximately reproducible).
  */
 #pragma once
 
@@ -32,6 +41,17 @@ struct TuneOptions
     hw::MeasureOptions measure;
     uint64_t seed = 0x702e;
     bool verbose = false;
+
+    // --- crash safety ---
+    /** Checkpoint file path; empty disables checkpointing. */
+    std::string checkpoint_path;
+    /** Rounds between checkpoint writes (also written after the final
+     *  round). */
+    int checkpoint_every = 5;
+    /** Resume from checkpoint_path when it exists; the session then
+     *  continues to a curve bit-identical (in measurements and latency)
+     *  to an uninterrupted run. */
+    bool resume = false;
 };
 
 /** One point of the tuning curve. */
@@ -52,6 +72,16 @@ struct TuneResult
     double total_search_seconds = 0.0;
     double model_seconds = 0.0;      ///< cost model + features + lowering
     double measure_seconds = 0.0;    ///< simulated hardware time
+
+    // --- measurement robustness accounting ---
+    /** Measurement requests that ended in a failure class. */
+    int64_t failed_measurements = 0;
+    /** Simulated seconds wasted on failed attempts (incl. retries). */
+    double wasted_measure_seconds = 0.0;
+    /** Final-status counts indexed by hw::MeasureStatus. */
+    std::vector<int64_t> status_counts;
+    /** Candidates quarantined by the measurer. */
+    int64_t quarantined_candidates = 0;
 
     /** First search time at which the curve reaches @p target latency;
      *  +inf when never reached. */

@@ -107,6 +107,81 @@ TEST(Dataset, StatisticsSaneRanges)
     EXPECT_LT(ds.repetitionRate(), 0.05);   // paper: ~1%
 }
 
+Dataset
+faultyDataset()
+{
+    CollectOptions options;
+    options.networks = {"resnet-18", "bert-tiny"};
+    options.platforms = {"platinum-8272", "e5-2673"};
+    options.programs_per_subgraph = 24;
+    options.seed = 7;
+    options.faults = hw::FaultProfile::uniform(0.3);
+    return collectDataset(options);
+}
+
+TEST(Collect, FailedMeasurementsBecomeNanLabels)
+{
+    const Dataset ds = faultyDataset();
+    int64_t missing = 0;
+    for (const auto &record : ds.records)
+        for (size_t p = 0; p < ds.platforms.size(); ++p)
+            missing += !record.hasLabel(p);
+    EXPECT_GT(missing, 0) << "30% faults should lose some labels";
+
+    int64_t failures = 0;
+    for (const auto &[status, count] : ds.failure_counts) {
+        EXPECT_GT(count, 0) << status;
+        failures += count;
+    }
+    EXPECT_EQ(failures, missing);
+
+    // label() reports missing entries as NaN, never a bogus number.
+    for (size_t r = 0; r < ds.records.size(); ++r)
+        for (size_t p = 0; p < ds.platforms.size(); ++p)
+            if (!ds.records[r].hasLabel(p))
+                EXPECT_TRUE(std::isnan(
+                    ds.label(static_cast<int>(r), static_cast<int>(p))));
+}
+
+TEST(Dataset, NanLabelsRoundTripExactly)
+{
+    const Dataset ds = faultyDataset();
+    const std::string path = "/tmp/tlp_test_faulty_dataset.bin";
+    ds.save(path);
+    const Dataset loaded = Dataset::load(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.records.size(), ds.records.size());
+    for (size_t r = 0; r < ds.records.size(); ++r) {
+        const auto &want = ds.records[r].latency_ms;
+        const auto &got = loaded.records[r].latency_ms;
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t p = 0; p < want.size(); ++p) {
+            if (std::isnan(want[p]))
+                EXPECT_TRUE(std::isnan(got[p]));
+            else
+                EXPECT_EQ(got[p], want[p]);
+        }
+    }
+    EXPECT_EQ(loaded.failure_counts, ds.failure_counts);
+}
+
+TEST(Metrics, TopKToleratesNanLabels)
+{
+    const Dataset ds = faultyDataset();
+    const auto split = makeSplit(ds, {"bert-tiny"});
+    Rng rng(5);
+    std::vector<double> scores;
+    for (size_t i = 0; i < split.test_records.size(); ++i)
+        scores.push_back(rng.uniform());
+    const auto tk = topKScores(ds, {"bert-tiny"}, 0, split.test_records,
+                               scores);
+    EXPECT_TRUE(std::isfinite(tk.top1));
+    EXPECT_TRUE(std::isfinite(tk.top5));
+    EXPECT_GT(tk.top1, 0.0);
+    EXPECT_LE(tk.top5, 1.0 + 1e-12);
+}
+
 TEST(Split, TestNetworksHeldOut)
 {
     const Dataset ds = smallDataset();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "hwmodel/measurer.h"
 #include "hwmodel/simulator.h"
@@ -197,6 +198,19 @@ TEST(Simulator, WholeZooSimulates)
     }
 }
 
+std::vector<sched::LoweredNest>
+sampleNests(int count, uint64_t seed = 29)
+{
+    auto sg = denseSubgraph(256, 256, 256);
+    sketch::SchedulePolicy policy(sg, false);
+    Rng rng(seed);
+    const auto population = policy.sampleInitPopulation(count, rng);
+    std::vector<sched::LoweredNest> nests;
+    for (const auto &state : population)
+        nests.push_back(sched::lower(state));
+    return nests;
+}
+
 TEST(Measurer, NoiseIsBoundedAndAccounted)
 {
     auto nest = naiveNest(denseSubgraph(128, 128, 128));
@@ -211,6 +225,198 @@ TEST(Measurer, NoiseIsBoundedAndAccounted)
     EXPECT_NEAR(measurer.elapsedSeconds(), 20 * 0.25, 1e-9);
     measurer.resetAccounting();
     EXPECT_EQ(measurer.count(), 0);
+}
+
+TEST(Measurer, FaultClassIsOrderIndependent)
+{
+    // Whether a candidate faults (and how) must not depend on what was
+    // measured before it — only the noise stream is sequential.
+    MeasureOptions options;
+    options.faults = FaultProfile::uniform(0.5);
+    const auto nests = sampleNests(12);
+    Measurer forward(HardwarePlatform::preset("e5-2673"), options);
+    Measurer backward(HardwarePlatform::preset("e5-2673"), options);
+    std::vector<MeasureStatus> fwd, bwd(nests.size());
+    for (const auto &nest : nests)
+        fwd.push_back(forward.measure(nest).status);
+    for (size_t i = nests.size(); i-- > 0;)
+        bwd[i] = backward.measure(nests[i]).status;
+    for (size_t i = 0; i < nests.size(); ++i)
+        EXPECT_EQ(fwd[i], bwd[i]) << "nest " << i;
+}
+
+TEST(Measurer, FaultsAreDeterministic)
+{
+    MeasureOptions options;
+    options.faults = FaultProfile::uniform(0.4);
+    const auto nests = sampleNests(16);
+    Measurer a(HardwarePlatform::preset("platinum-8272"), options);
+    Measurer b(HardwarePlatform::preset("platinum-8272"), options);
+    bool any_failed = false;
+    for (const auto &nest : nests) {
+        const auto ra = a.measure(nest);
+        const auto rb = b.measure(nest);
+        EXPECT_EQ(ra.status, rb.status);
+        EXPECT_EQ(ra.attempts, rb.attempts);
+        EXPECT_DOUBLE_EQ(ra.seconds_spent, rb.seconds_spent);
+        if (ra.ok())
+            EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+        else
+            any_failed = true;
+    }
+    EXPECT_TRUE(any_failed) << "40% fault rate should fail something";
+    EXPECT_EQ(a.statusCounts(), b.statusCounts());
+}
+
+TEST(Measurer, FaultOutcomeIndependentOfNoiseSeed)
+{
+    // Fault draws key off FaultProfile::seed, not the noise seed.
+    MeasureOptions options;
+    options.faults = FaultProfile::uniform(0.5);
+    const auto nests = sampleNests(16);
+    Measurer a(HardwarePlatform::preset("e5-2673"), options, 1);
+    Measurer b(HardwarePlatform::preset("e5-2673"), options, 2);
+    for (const auto &nest : nests)
+        EXPECT_EQ(a.measure(nest).status, b.measure(nest).status);
+}
+
+TEST(Measurer, CompileErrorsFailImmediatelyAndQuarantine)
+{
+    MeasureOptions options;
+    options.faults.compile_error_prob = 1.0;
+    options.max_retries = 5;
+    Measurer measurer(HardwarePlatform::preset("e5-2673"), options);
+    const auto nest = naiveNest(denseSubgraph(64, 64, 64));
+
+    const auto first = measurer.measure(nest);
+    EXPECT_EQ(first.status, MeasureStatus::CompileError);
+    EXPECT_EQ(first.attempts, 1);   // never retried despite max_retries
+    EXPECT_TRUE(std::isnan(first.latency_ms));
+    EXPECT_GT(first.seconds_spent, 0.0);
+    EXPECT_LT(first.seconds_spent, options.seconds_per_measure);
+    EXPECT_TRUE(measurer.isQuarantined(nest));
+
+    // The second request short-circuits: same status, no hardware time.
+    const auto second = measurer.measure(nest);
+    EXPECT_EQ(second.status, MeasureStatus::CompileError);
+    EXPECT_EQ(second.attempts, 0);
+    EXPECT_DOUBLE_EQ(second.seconds_spent, 0.0);
+    EXPECT_EQ(measurer.quarantineHits(), 1);
+}
+
+TEST(Measurer, TransientFaultsRetryUpToCap)
+{
+    MeasureOptions options;
+    options.faults.timeout_prob = 1.0;
+    options.faults.timeout_seconds = 0.5;
+    options.max_retries = 2;
+    options.quarantine_after = 100;
+    Measurer measurer(HardwarePlatform::preset("e5-2673"), options);
+    const auto nest = naiveNest(denseSubgraph(64, 64, 64));
+
+    const auto result = measurer.measure(nest);
+    EXPECT_EQ(result.status, MeasureStatus::Timeout);
+    EXPECT_EQ(result.attempts, 3);   // 1 + max_retries
+    EXPECT_DOUBLE_EQ(result.seconds_spent, 3 * 0.5);
+    EXPECT_DOUBLE_EQ(measurer.failureSeconds(), measurer.elapsedSeconds());
+}
+
+TEST(Measurer, RetriesRecoverTransientFaults)
+{
+    MeasureOptions base;
+    base.faults.timeout_prob = 0.4;
+    base.quarantine_after = 1000;
+    auto with_retries = base;
+    base.max_retries = 0;
+    with_retries.max_retries = 3;
+
+    const auto nests = sampleNests(32);
+    Measurer stubborn(HardwarePlatform::preset("e5-2673"), base);
+    Measurer patient(HardwarePlatform::preset("e5-2673"), with_retries);
+    int64_t ok_stubborn = 0, ok_patient = 0;
+    for (const auto &nest : nests) {
+        ok_stubborn += stubborn.measure(nest).ok();
+        ok_patient += patient.measure(nest).ok();
+    }
+    EXPECT_GT(ok_patient, ok_stubborn);
+    EXPECT_EQ(ok_patient,
+              patient.statusCounts()[static_cast<size_t>(
+                  MeasureStatus::Ok)]);
+}
+
+TEST(Measurer, RepeatFailuresGetQuarantined)
+{
+    MeasureOptions options;
+    options.faults.runtime_error_prob = 1.0;
+    options.max_retries = 0;
+    options.quarantine_after = 3;
+    Measurer measurer(HardwarePlatform::preset("e5-2673"), options);
+    const auto nest = naiveNest(denseSubgraph(64, 64, 64));
+
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(measurer.isQuarantined(nest));
+        EXPECT_EQ(measurer.measure(nest).attempts, 1);
+    }
+    EXPECT_TRUE(measurer.isQuarantined(nest));
+    EXPECT_EQ(measurer.measure(nest).attempts, 0);
+    EXPECT_EQ(measurer.quarantineSize(), 1);
+}
+
+TEST(Measurer, SuccessfulLatencyStaysNearTruthUnderFaults)
+{
+    // Candidates that eventually measure Ok must still report sane
+    // latencies: close to the noise-free simulator value, never NaN.
+    const auto nests = sampleNests(16);
+    MeasureOptions faulty;
+    faulty.faults = FaultProfile::uniform(0.3);
+    faulty.max_retries = 4;
+    Measurer injected(HardwarePlatform::preset("e5-2673"), faulty);
+    LatencySimulator sim(HardwarePlatform::preset("e5-2673"));
+    int compared = 0;
+    for (const auto &nest : nests) {
+        const auto result = injected.measure(nest);
+        if (!result.ok()) {
+            EXPECT_TRUE(std::isnan(result.latency_ms));
+            continue;
+        }
+        const double truth = sim.latencyMs(nest);
+        EXPECT_NEAR(result.latency_ms, truth, truth * 0.2);
+        ++compared;
+    }
+    EXPECT_GT(compared, 0);
+}
+
+TEST(Measurer, StateRoundTripsThroughSerialization)
+{
+    MeasureOptions options;
+    options.faults = FaultProfile::uniform(0.6);
+    options.quarantine_after = 1;
+    Measurer measurer(HardwarePlatform::preset("e5-2673"), options);
+    for (const auto &nest : sampleNests(12))
+        measurer.measure(nest);
+
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        measurer.serializeState(writer);
+    }
+    Measurer restored(HardwarePlatform::preset("e5-2673"), options);
+    BinaryReader reader(ss);
+    restored.deserializeState(reader);
+    EXPECT_DOUBLE_EQ(restored.elapsedSeconds(), measurer.elapsedSeconds());
+    EXPECT_DOUBLE_EQ(restored.failureSeconds(), measurer.failureSeconds());
+    EXPECT_EQ(restored.count(), measurer.count());
+    EXPECT_EQ(restored.statusCounts(), measurer.statusCounts());
+    EXPECT_EQ(restored.quarantineSize(), measurer.quarantineSize());
+
+    // The noise stream continues identically after a restore: a fresh
+    // measurer replaying the same sequence agrees with the restored one.
+    const auto next_nest = naiveNest(denseSubgraph(96, 96, 96));
+    Measurer replay(HardwarePlatform::preset("e5-2673"), options);
+    for (const auto &nest : sampleNests(12))
+        replay.measure(nest);
+    EXPECT_DOUBLE_EQ(replay.measureMs(next_nest),
+                     restored.measureMs(next_nest));
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "nn/losses.h"
 #include "nn/modules.h"
@@ -292,6 +293,51 @@ TEST(Losses, RankLossRespectsGroups)
     Tensor pred = Tensor::fromData({2}, {0.0f, 1.0f}, true);
     Tensor loss = rankLoss(pred, {1.0f, 0.0f}, {0, 1});
     EXPECT_FLOAT_EQ(loss.value()[0], 0.0f);
+}
+
+TEST(Losses, NanTargetsContributeNoLossOrGradient)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+
+    // MSE: the NaN element must affect neither value nor gradient, and
+    // the mean must be over the valid elements only.
+    Tensor pred = Tensor::fromData({3}, {1.0f, 3.0f, 2.0f}, true);
+    Tensor loss = mseLoss(pred, {0.0f, nan, 1.0f});
+    EXPECT_NEAR(loss.value()[0], (1.0 + 1.0) / 2.0, 1e-6);
+    loss.backward();
+    EXPECT_NEAR(pred.grad()[0], 1.0f, 1e-5);
+    EXPECT_FLOAT_EQ(pred.grad()[1], 0.0f);
+    EXPECT_NEAR(pred.grad()[2], 1.0f, 1e-5);
+
+    // Rank: pairs touching a NaN label are dropped.
+    Tensor scores = Tensor::fromData({2}, {0.0f, 1.0f}, true);
+    Tensor rank = rankLoss(scores, {nan, 0.2f}, {0, 0});
+    EXPECT_FLOAT_EQ(rank.value()[0], 0.0f);
+    rank.backward();
+    EXPECT_FLOAT_EQ(scores.grad()[0], 0.0f);
+    EXPECT_FLOAT_EQ(scores.grad()[1], 0.0f);
+}
+
+TEST(Losses, AllNanTargetsGiveZeroFiniteLoss)
+{
+    // A record labeled on no platform (every measurement failed) must be
+    // a clean no-op: zero loss, zero gradients, nothing non-finite.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    Tensor pred = Tensor::fromData({3}, {1.0f, -2.0f, 0.5f}, true);
+    Tensor loss = mseLoss(pred, {nan, nan, nan});
+    EXPECT_FLOAT_EQ(loss.value()[0], 0.0f);
+    loss.backward();
+    for (float g : pred.grad()) {
+        EXPECT_TRUE(std::isfinite(g));
+        EXPECT_FLOAT_EQ(g, 0.0f);
+    }
+
+    Tensor scores = Tensor::fromData({3}, {1.0f, -2.0f, 0.5f}, true);
+    Tensor rank = rankLoss(scores, {nan, nan, nan}, {0, 0, 0});
+    EXPECT_FLOAT_EQ(rank.value()[0], 0.0f);
+    rank.backward();
+    for (float g : scores.grad())
+        EXPECT_FLOAT_EQ(g, 0.0f);
 }
 
 TEST(Modules, LinearShapes)

@@ -118,6 +118,90 @@ TEST(Serialize, RoundTripPodStringVector)
     EXPECT_FLOAT_EQ(floats[1], -2.5f);
 }
 
+TEST(Serialize, ReadHeaderReturnsOlderVersion)
+{
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writeHeader(writer, 0xABCD, 1);
+    }
+    BinaryReader reader(ss);
+    EXPECT_EQ(readHeader(reader, 0xABCD, 3), 1u);
+}
+
+TEST(SerializeDeathTest, WrongMagicIsFatal)
+{
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writeHeader(writer, 0x1111, 1);
+    }
+    BinaryReader reader(ss);
+    EXPECT_EXIT(readHeader(reader, 0x2222, 1),
+                ::testing::ExitedWithCode(1), "bad file magic");
+}
+
+TEST(SerializeDeathTest, FutureVersionIsFatal)
+{
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writeHeader(writer, 0xABCD, 9);
+    }
+    BinaryReader reader(ss);
+    EXPECT_EXIT(readHeader(reader, 0xABCD, 3),
+                ::testing::ExitedWithCode(1),
+                "newer than supported version");
+}
+
+TEST(SerializeDeathTest, TruncatedStreamIsFatal)
+{
+    // A short header, a short string body, and a short vector body are
+    // all user errors (corrupt file), not internal bugs: exit(1).
+    std::stringstream empty;
+    BinaryReader reader(empty);
+    EXPECT_EXIT(readHeader(reader, 0xABCD, 1),
+                ::testing::ExitedWithCode(1), "truncated binary stream");
+
+    std::stringstream short_string;
+    {
+        BinaryWriter writer(short_string);
+        writer.writePod<uint64_t>(100);   // promises 100 bytes, has none
+    }
+    BinaryReader string_reader(short_string);
+    EXPECT_EXIT(string_reader.readString(),
+                ::testing::ExitedWithCode(1), "truncated binary stream");
+
+    std::stringstream short_vector;
+    {
+        BinaryWriter writer(short_vector);
+        writer.writePod<uint64_t>(5);
+        writer.writePod<float>(1.0f);     // 1 of 5 promised floats
+    }
+    BinaryReader vector_reader(short_vector);
+    EXPECT_EXIT(vector_reader.readVector<float>(),
+                ::testing::ExitedWithCode(1), "truncated binary stream");
+}
+
+TEST(Rng, SerializeRoundTripContinuesIdentically)
+{
+    Rng rng(99);
+    for (int i = 0; i < 37; ++i)
+        rng.next();
+    rng.normal();   // leave a cached Box-Muller value in flight
+
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        rng.serialize(writer);
+    }
+    BinaryReader reader(ss);
+    Rng restored = Rng::deserialize(reader);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(restored.next(), rng.next());
+    EXPECT_DOUBLE_EQ(restored.normal(), rng.normal());
+}
+
 TEST(StrUtil, SplitJoin)
 {
     const auto parts = split("a,b,,c", ',');

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
@@ -161,6 +162,142 @@ TEST(Session, GpuWorkloadTunes)
                      cost_model, quickOptions());
     EXPECT_TRUE(std::isfinite(result.best_workload_latency_ms));
     EXPECT_GT(result.total_measurements, 0);
+}
+
+TEST(Session, CurveStaysMonotoneUnderFaults)
+{
+    // 30% injected fault rate: the session must finish, the curve must
+    // stay monotone, and no non-finite latency may surface anywhere.
+    const auto workload = tinyWorkload();
+    TuneOptions options = quickOptions();
+    options.rounds = 9;
+    options.measure.faults = hw::FaultProfile::uniform(0.3);
+    model::AnsorOnlineCostModel cost_model;
+    const auto result =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     cost_model, options);
+
+    EXPECT_GT(result.failed_measurements, 0);
+    EXPECT_GT(result.wasted_measure_seconds, 0.0);
+    EXPECT_LE(result.wasted_measure_seconds, result.measure_seconds);
+    double last = std::numeric_limits<double>::infinity();
+    for (const auto &point : result.curve) {
+        if (std::isfinite(point.workload_latency_ms)) {
+            EXPECT_LE(point.workload_latency_ms, last + 1e-9);
+            last = point.workload_latency_ms;
+        }
+    }
+    for (double best : result.best_per_task_ms)
+        EXPECT_FALSE(std::isnan(best));
+    int64_t classified = 0;
+    for (int64_t count : result.status_counts) {
+        EXPECT_GE(count, 0);
+        classified += count;
+    }
+    EXPECT_EQ(classified, result.total_measurements);
+}
+
+TEST(Session, FaultyRunIsDeterministic)
+{
+    const auto workload = tinyWorkload();
+    TuneOptions options = quickOptions();
+    options.measure.faults = hw::FaultProfile::uniform(0.25);
+
+    model::AnsorOnlineCostModel model_a, model_b;
+    const auto a =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     model_a, options);
+    const auto b =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     model_b, options);
+
+    EXPECT_EQ(a.total_measurements, b.total_measurements);
+    EXPECT_EQ(a.failed_measurements, b.failed_measurements);
+    EXPECT_DOUBLE_EQ(a.measure_seconds, b.measure_seconds);
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (size_t i = 0; i < a.curve.size(); ++i) {
+        EXPECT_EQ(a.curve[i].measurements, b.curve[i].measurements);
+        EXPECT_DOUBLE_EQ(a.curve[i].workload_latency_ms,
+                         b.curve[i].workload_latency_ms);
+    }
+}
+
+TEST(Session, CheckpointResumeMatchesUninterruptedRun)
+{
+    const auto workload = tinyWorkload();
+    const std::string ckpt =
+        ::testing::TempDir() + "tlp_resume_test.ckpt";
+    std::remove(ckpt.c_str());
+
+    TuneOptions options = quickOptions();
+    options.rounds = 8;
+    options.measure.faults = hw::FaultProfile::uniform(0.2);
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 2;
+
+    // Reference: one uninterrupted run.
+    model::AnsorOnlineCostModel reference_model;
+    const auto reference =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     reference_model, options);
+
+    // "Killed" run: only half the rounds, leaving a checkpoint behind.
+    std::remove(ckpt.c_str());
+    TuneOptions half = options;
+    half.rounds = 4;
+    model::AnsorOnlineCostModel killed_model;
+    tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                 killed_model, half);
+
+    // Resume with a fresh model and the full budget.
+    TuneOptions resumed_options = options;
+    resumed_options.resume = true;
+    model::AnsorOnlineCostModel resumed_model;
+    const auto resumed =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     resumed_model, resumed_options);
+
+    // The resumed curve is bit-identical in measurements, latency and
+    // simulated seconds (model wall clock is real time and excluded).
+    EXPECT_EQ(resumed.total_measurements, reference.total_measurements);
+    EXPECT_DOUBLE_EQ(resumed.measure_seconds, reference.measure_seconds);
+    EXPECT_DOUBLE_EQ(resumed.best_workload_latency_ms,
+                     reference.best_workload_latency_ms);
+    ASSERT_EQ(resumed.curve.size(), reference.curve.size());
+    for (size_t i = 0; i < reference.curve.size(); ++i) {
+        EXPECT_EQ(resumed.curve[i].measurements,
+                  reference.curve[i].measurements);
+        EXPECT_DOUBLE_EQ(resumed.curve[i].workload_latency_ms,
+                         reference.curve[i].workload_latency_ms);
+    }
+    std::remove(ckpt.c_str());
+}
+
+TEST(Session, ResumeRejectsForeignCheckpoint)
+{
+    const auto workload = tinyWorkload();
+    const std::string ckpt =
+        ::testing::TempDir() + "tlp_foreign_test.ckpt";
+    std::remove(ckpt.c_str());
+
+    TuneOptions options = quickOptions();
+    options.rounds = 2;
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 1;
+    model::RandomCostModel cost_model(12);
+    tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                 cost_model, options);
+
+    // Same checkpoint, different seed: the config digest must not match.
+    TuneOptions mismatched = options;
+    mismatched.resume = true;
+    mismatched.seed = options.seed + 1;
+    model::RandomCostModel other_model(12);
+    EXPECT_EXIT(tuneWorkload(workload,
+                             hw::HardwarePlatform::preset("e5-2673"),
+                             other_model, mismatched),
+                ::testing::ExitedWithCode(1), "different session");
+    std::remove(ckpt.c_str());
 }
 
 } // namespace
