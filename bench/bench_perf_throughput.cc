@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Throughput of the performance substrate: training samples/sec and
+ * inference candidates/sec at 1, 2, and 4 worker threads, plus a
+ * bit-identity check that the parallel kernels change nothing but the
+ * wall clock. Results go to stdout and to BENCH_perf.json (machine
+ * readable, written in the working directory — run from the repo root).
+ *
+ * Speedups track the machine: on a single-core container every thread
+ * count times out to ~1x; the JSON records hardware_concurrency so
+ * readers can interpret the numbers.
+ */
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sketch/policy.h"
+#include "support/thread_pool.h"
+
+using namespace tlp;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct ThreadResult
+{
+    int threads;
+    double train_seconds;
+    double train_samples_per_sec;
+    double infer_seconds;
+    double infer_candidates_per_sec;
+    double final_loss;
+    std::vector<double> predictions;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Perf: training / inference throughput vs threads "
+                "===\n");
+
+    data::CollectOptions collect;
+    collect.networks = {"resnet-18"};
+    collect.platforms = {"platinum-8272"};
+    collect.programs_per_subgraph =
+        static_cast<int>(scaledCount(64, 16));
+    collect.seed = 33;
+    const auto dataset = data::collectDataset(collect);
+
+    std::vector<int> all_records;
+    for (size_t r = 0; r < dataset.records.size(); ++r)
+        all_records.push_back(static_cast<int>(r));
+    const auto set = data::buildTlpSet(dataset, all_records, {0});
+    std::printf("training set: %d rows\n", set.rows);
+
+    model::TrainOptions train_options;
+    train_options.epochs = static_cast<int>(scaledCount(2, 1));
+    train_options.batch_size = 64;
+
+    Rng pop_rng(34);
+    sketch::SchedulePolicy policy(dataset.groups[0].subgraph,
+                                  dataset.is_gpu);
+    const auto population = policy.sampleInitPopulation(
+        static_cast<int>(scaledCount(512, 64)), pop_rng);
+    const int infer_reps = 3;
+
+    model::TlpNetConfig config;
+    config.hidden = 64;
+
+    std::vector<ThreadResult> results;
+    for (int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalThreads(threads);
+        ThreadResult result;
+        result.threads = threads;
+
+        Rng net_rng(7);
+        auto net = std::make_shared<model::TlpNet>(config, net_rng);
+        double t0 = now();
+        result.final_loss = trainTlpNet(*net, set, train_options);
+        result.train_seconds = now() - t0;
+        result.train_samples_per_sec =
+            static_cast<double>(set.rows) * train_options.epochs /
+            result.train_seconds;
+
+        model::TlpCostModel cost_model(net);
+        t0 = now();
+        for (int rep = 0; rep < infer_reps; ++rep)
+            result.predictions = cost_model.predictBatch(0, population);
+        result.infer_seconds = now() - t0;
+        result.infer_candidates_per_sec =
+            static_cast<double>(population.size()) * infer_reps /
+            result.infer_seconds;
+
+        std::printf("threads %d: train %7.1f samples/s (%.2fs), "
+                    "infer %8.1f candidates/s (%.2fs), loss %.6f\n",
+                    threads, result.train_samples_per_sec,
+                    result.train_seconds,
+                    result.infer_candidates_per_sec,
+                    result.infer_seconds, result.final_loss);
+        results.push_back(std::move(result));
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+
+    bool bit_identical = true;
+    for (const auto &result : results) {
+        if (result.final_loss != results[0].final_loss ||
+            result.predictions != results[0].predictions)
+            bit_identical = false;
+    }
+    std::printf("bit-identical across thread counts: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("hardware_concurrency: %u (speedups need real cores)\n",
+                cores);
+
+    FILE *json = std::fopen("BENCH_perf.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write BENCH_perf.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"bench\": \"perf_throughput\",\n");
+    std::fprintf(json, "  \"scale\": %.3f,\n", benchScale());
+    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", cores);
+    std::fprintf(json, "  \"train_rows\": %d,\n", set.rows);
+    std::fprintf(json, "  \"train_epochs\": %d,\n", train_options.epochs);
+    std::fprintf(json, "  \"infer_candidates\": %zu,\n",
+                 population.size());
+    std::fprintf(json, "  \"bit_identical\": %s,\n",
+                 bit_identical ? "true" : "false");
+    std::fprintf(json, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &result = results[i];
+        std::fprintf(
+            json,
+            "    {\"threads\": %d, \"train_seconds\": %.4f, "
+            "\"train_samples_per_sec\": %.2f, \"train_speedup\": %.3f, "
+            "\"infer_seconds\": %.4f, "
+            "\"infer_candidates_per_sec\": %.2f, "
+            "\"infer_speedup\": %.3f}%s\n",
+            result.threads, result.train_seconds,
+            result.train_samples_per_sec,
+            results[0].train_seconds / result.train_seconds,
+            result.infer_seconds, result.infer_candidates_per_sec,
+            results[0].infer_seconds / result.infer_seconds,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_perf.json\n");
+    return bit_identical ? 0 : 1;
+}

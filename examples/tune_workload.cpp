@@ -7,6 +7,7 @@
  *                      [--model ansor|random|tlp] [--rounds 20]
  *                      [--fault-rate 0.1] [--retries 2]
  *                      [--checkpoint tune.ckpt] [--resume tune.ckpt]
+ *                      [--threads 4]
  *
  * The "tlp" model is pretrained on a freshly collected mini dataset
  * before tuning starts (a minute or so); "ansor" trains online.
@@ -23,6 +24,7 @@
 #include "ir/partition.h"
 #include "models/cost_model.h"
 #include "support/argparse.h"
+#include "support/thread_pool.h"
 #include "tuner/session.h"
 
 using namespace tlp;
@@ -43,7 +45,17 @@ main(int argc, char **argv)
                    "checkpoint file written every few rounds");
     args.addString("resume", "",
                    "resume from this checkpoint (implies --checkpoint)");
+    args.addInt("threads", 0,
+                "worker threads for kernels/features "
+                "(0 = TLP_NUM_THREADS env, default 1)");
     args.parse(argc, argv);
+
+    const int threads = static_cast<int>(args.getInt("threads"));
+    if (threads < 0)
+        TLP_FATAL("--threads must be >= 0, got ", threads);
+    if (threads > 0)
+        ThreadPool::setGlobalThreads(threads);
+    std::printf("threads: %d\n", ThreadPool::global().numThreads());
 
     const auto platform =
         hw::HardwarePlatform::preset(args.getString("platform"));

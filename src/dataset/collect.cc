@@ -9,6 +9,7 @@
 #include "schedule/lower.h"
 #include "sketch/policy.h"
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace tlp::data {
 
@@ -58,11 +59,25 @@ collectDataset(const CollectOptions &options)
                 sketch::SchedulePolicy policy(subgraph, options.is_gpu);
                 auto population = policy.sampleInitPopulation(
                     options.programs_per_subgraph, rng);
-                for (const auto &state : population) {
+                // Lower candidates in parallel (lowering is a pure
+                // function of the State); measurement stays sequential
+                // below because the per-platform noise streams are
+                // order-sensitive and checkpointable.
+                std::vector<sched::LoweredNest> nests(population.size());
+                ThreadPool::global().parallelFor(
+                    0, static_cast<int64_t>(population.size()), 1,
+                    [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                            nests[static_cast<size_t>(i)] = sched::lower(
+                                population[static_cast<size_t>(i)]);
+                        }
+                    });
+                for (size_t c = 0; c < population.size(); ++c) {
+                    const auto &state = population[c];
                     ProgramRecord record;
                     record.group = static_cast<uint32_t>(group_index);
                     record.seq = state.steps();
-                    const auto nest = sched::lower(state);
+                    const auto &nest = nests[c];
                     record.latency_ms.reserve(measurers.size());
                     for (auto &measurer : measurers) {
                         // Failed measurements become NaN labels — the

@@ -7,6 +7,7 @@
 #include "schedule/lower.h"
 #include "schedule/state.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace tlp::data {
 
@@ -59,17 +60,30 @@ buildTlpSet(const Dataset &dataset, const std::vector<int> &records,
     set.rows = static_cast<int>(records.size());
     set.feature_dim = options.seq_len * options.emb_size;
     set.num_tasks = static_cast<int>(platforms.size());
-    set.features.reserve(static_cast<size_t>(set.rows) *
-                         static_cast<size_t>(set.feature_dim));
+    const size_t dim = static_cast<size_t>(set.feature_dim);
+    set.features.resize(static_cast<size_t>(set.rows) * dim);
     set.labels.reserve(static_cast<size_t>(set.rows) *
                        platforms.size());
     set.groups.reserve(records.size());
 
+    // Feature rows are independent (extractTlpFeatures reads only the
+    // PrimitiveSeq) and disjoint: extract them in parallel.
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(records.size()), 1,
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+                const auto &record = dataset.records.at(
+                    static_cast<size_t>(records[static_cast<size_t>(i)]));
+                const auto features =
+                    feat::extractTlpFeatures(record.seq, options);
+                std::copy(features.begin(), features.end(),
+                          set.features.begin() +
+                              static_cast<size_t>(i) * dim);
+            }
+        });
+
     for (int r : records) {
         const auto &record = dataset.records.at(static_cast<size_t>(r));
-        const auto features = feat::extractTlpFeatures(record.seq, options);
-        set.features.insert(set.features.end(), features.begin(),
-                            features.end());
         for (int p : platforms)
             set.labels.push_back(dataset.label(r, p));
         set.groups.push_back(static_cast<int>(record.group));

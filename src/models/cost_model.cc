@@ -4,10 +4,17 @@
 
 #include "features/ansor_features.h"
 #include "schedule/lower.h"
+#include "support/thread_pool.h"
 
 namespace tlp::model {
 
 namespace {
+
+/**
+ * Largest single forward pass of the batched scoring path; populations
+ * beyond this are split to bound activation memory.
+ */
+constexpr int kMaxForwardBatch = 2048;
 
 /** Ad-hoc LabeledSet holding only features (for batch prediction). */
 data::LabeledSet
@@ -24,17 +31,38 @@ featureOnlySet(std::vector<float> features, int rows, int dim)
     return set;
 }
 
+/**
+ * Lower + extract Ansor features, parallel over candidates. Lowering
+ * and extraction are pure functions of the State, and every candidate
+ * writes a disjoint feature row, so this is deterministic at any
+ * thread count.
+ */
+std::vector<float>
+ansorFeaturesOf(const std::vector<const sched::State *> &states)
+{
+    const size_t dim = static_cast<size_t>(feat::kAnsorFeatureSize);
+    std::vector<float> features(states.size() * dim);
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(states.size()), 1,
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+                const auto row = feat::extractAnsorFeatures(
+                    sched::lower(*states[static_cast<size_t>(i)]));
+                std::copy(row.begin(), row.end(),
+                          features.begin() + static_cast<size_t>(i) * dim);
+            }
+        });
+    return features;
+}
+
 std::vector<float>
 ansorFeaturesOf(const std::vector<sched::State> &states)
 {
-    std::vector<float> features;
-    features.reserve(states.size() *
-                     static_cast<size_t>(feat::kAnsorFeatureSize));
-    for (const auto &state : states) {
-        const auto row = feat::extractAnsorFeatures(sched::lower(state));
-        features.insert(features.end(), row.begin(), row.end());
-    }
-    return features;
+    std::vector<const sched::State *> ptrs;
+    ptrs.reserve(states.size());
+    for (const auto &state : states)
+        ptrs.push_back(&state);
+    return ansorFeaturesOf(ptrs);
 }
 
 } // namespace
@@ -54,19 +82,39 @@ std::vector<double>
 TlpCostModel::scoreStates(int task_id,
                           const std::vector<sched::State> &states)
 {
+    return predictBatch(task_id, states);
+}
+
+std::vector<double>
+TlpCostModel::predictBatch(int task_id,
+                           const std::vector<sched::State> &states)
+{
     if (states.empty())
         return {};
-    std::vector<float> features;
-    const int dim = feature_options_.seq_len * feature_options_.emb_size;
-    features.reserve(states.size() * static_cast<size_t>(dim));
-    for (const auto &state : states) {
-        const auto row =
-            feat::extractTlpFeatures(state.steps(), feature_options_);
-        features.insert(features.end(), row.begin(), row.end());
-    }
+    // Parallel feature extraction: extractTlpFeatures reads only the
+    // PrimitiveSeq (no lowering, no shared state), and each candidate
+    // owns a disjoint feature row.
+    const size_t dim = static_cast<size_t>(feature_options_.seq_len) *
+                       static_cast<size_t>(feature_options_.emb_size);
+    std::vector<float> features(states.size() * dim);
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(states.size()), 1,
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+                const auto row = feat::extractTlpFeatures(
+                    states[static_cast<size_t>(i)].steps(),
+                    feature_options_);
+                std::copy(row.begin(), row.end(),
+                          features.begin() + static_cast<size_t>(i) * dim);
+            }
+        });
     auto set = featureOnlySet(std::move(features),
-                              static_cast<int>(states.size()), dim);
-    return predictTlpNet(*net_, set, head_task_);
+                              static_cast<int>(states.size()),
+                              static_cast<int>(dim));
+    // One forward over the whole population (split only beyond the
+    // activation-memory cap), instead of per-candidate forwards.
+    return predictTlpNet(*net_, set, head_task_,
+                         std::min(set.rows, kMaxForwardBatch));
 }
 
 TensetMlpCostModel::TensetMlpCostModel(std::shared_ptr<TensetMlpNet> net)
@@ -79,12 +127,19 @@ std::vector<double>
 TensetMlpCostModel::scoreStates(int task_id,
                                 const std::vector<sched::State> &states)
 {
+    return predictBatch(task_id, states);
+}
+
+std::vector<double>
+TensetMlpCostModel::predictBatch(int task_id,
+                                 const std::vector<sched::State> &states)
+{
     if (states.empty())
         return {};
     auto set = featureOnlySet(ansorFeaturesOf(states),
                               static_cast<int>(states.size()),
                               feat::kAnsorFeatureSize);
-    return predictMlp(*net_, set);
+    return predictMlp(*net_, set, std::min(set.rows, kMaxForwardBatch));
 }
 
 AnsorOnlineCostModel::AnsorOnlineCostModel(GbdtOptions options)
@@ -113,10 +168,9 @@ AnsorOnlineCostModel::update(
     const std::vector<double> &latency_ms)
 {
     TLP_CHECK(states.size() == latency_ms.size(), "update size mismatch");
+    const auto rows = ansorFeaturesOf(states);
+    features_.insert(features_.end(), rows.begin(), rows.end());
     for (size_t i = 0; i < states.size(); ++i) {
-        const auto row =
-            feat::extractAnsorFeatures(sched::lower(*states[i]));
-        features_.insert(features_.end(), row.begin(), row.end());
         latencies_.push_back(static_cast<float>(latency_ms[i]));
         tasks_.push_back(task_id);
         auto it = task_min_.find(task_id);

@@ -40,6 +40,19 @@ class CostModel
     virtual std::vector<double>
     scoreStates(int task_id, const std::vector<sched::State> &states) = 0;
 
+    /**
+     * Batched scoring path for the evolutionary search: feature
+     * extraction (and lowering, where required) runs in parallel over
+     * candidates on the global ThreadPool, and the whole population is
+     * scored in as few network forwards as possible. The default
+     * delegates to scoreStates; results are identical either way.
+     */
+    virtual std::vector<double>
+    predictBatch(int task_id, const std::vector<sched::State> &states)
+    {
+        return scoreStates(task_id, states);
+    }
+
     /** Feed back measured latencies (online models retrain). */
     virtual void update(int task_id,
                         const std::vector<const sched::State *> &states,
@@ -63,6 +76,9 @@ class TlpCostModel : public CostModel
     std::vector<double>
     scoreStates(int task_id, const std::vector<sched::State> &states)
         override;
+    std::vector<double>
+    predictBatch(int task_id, const std::vector<sched::State> &states)
+        override;
     bool needsLowering() const override { return false; }
 
   private:
@@ -80,6 +96,9 @@ class TensetMlpCostModel : public CostModel
     std::string name() const override { return "tenset-mlp"; }
     std::vector<double>
     scoreStates(int task_id, const std::vector<sched::State> &states)
+        override;
+    std::vector<double>
+    predictBatch(int task_id, const std::vector<sched::State> &states)
         override;
     bool needsLowering() const override { return true; }
 

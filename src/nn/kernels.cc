@@ -1,0 +1,159 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+
+#include "support/thread_pool.h"
+
+namespace tlp::nn::kern {
+
+namespace {
+
+/** K-block size: a [kKBlock x n<=256] B panel stays L1-resident. */
+constexpr int64_t kKBlock = 64;
+
+/** I-block size for the transposed update (dC panel reuse). */
+constexpr int64_t kIBlock = 64;
+
+/**
+ * Serial micro-kernel: C rows [i0, i1) of C = A * B, k-blocked.
+ * Per output element the k accumulation order is globally increasing
+ * (blocks in order, in-block in order) — identical to naive i-k-j.
+ */
+void
+gemmRows(const float *a, const float *b, float *c, int64_t i0, int64_t i1,
+         int64_t k, int64_t n)
+{
+    std::fill(c + i0 * n, c + i1 * n, 0.0f);
+    for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+        const int64_t p1 = std::min(k, p0 + kKBlock);
+        for (int64_t i = i0; i < i1; ++i) {
+            float *crow = c + i * n;
+            for (int64_t p = p0; p < p1; ++p) {
+                const float aval = a[i * k + p];
+                const float *brow = b + p * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
+/** Serial micro-kernel: GA rows [i0, i1) of GA += GC * B^T. */
+void
+gemmNTRows(const float *gc, const float *b, float *ga, int64_t i0,
+           int64_t i1, int64_t k, int64_t n)
+{
+    for (int64_t i = i0; i < i1; ++i) {
+        const float *gcrow = gc + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+            const float *brow = b + p * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j)
+                acc += gcrow[j] * brow[j];
+            ga[i * k + p] += acc;
+        }
+    }
+}
+
+/**
+ * Serial micro-kernel: GB rows [p0, p1) of GB += A^T * GC, i-blocked.
+ * Per (p, j) the i accumulation order is globally increasing, matching
+ * the naive i-outer loop it replaced.
+ */
+void
+gemmTNRows(const float *a, const float *gc, float *gb, int64_t p0,
+           int64_t p1, int64_t m, int64_t k, int64_t n)
+{
+    for (int64_t i0 = 0; i0 < m; i0 += kIBlock) {
+        const int64_t i1 = std::min(m, i0 + kIBlock);
+        for (int64_t p = p0; p < p1; ++p) {
+            float *gbrow = gb + p * n;
+            for (int64_t i = i0; i < i1; ++i) {
+                const float aval = a[i * k + p];
+                const float *gcrow = gc + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    gbrow[j] += aval * gcrow[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+int64_t
+rowGrain(int64_t work_per_row)
+{
+    return std::max<int64_t>(
+        1, kParallelGrainWork / std::max<int64_t>(1, work_per_row));
+}
+
+void
+gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
+     int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, m, rowGrain(k * n), [&](int64_t i0, int64_t i1) {
+            gemmRows(a, b, c, i0, i1, k, n);
+        });
+}
+
+void
+gemmNT(const float *gc, const float *b, float *ga, int64_t m, int64_t k,
+       int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, m, rowGrain(k * n), [&](int64_t i0, int64_t i1) {
+            gemmNTRows(gc, b, ga, i0, i1, k, n);
+        });
+}
+
+void
+gemmTN(const float *a, const float *gc, float *gb, int64_t m, int64_t k,
+       int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, k, rowGrain(m * n), [&](int64_t p0, int64_t p1) {
+            gemmTNRows(a, gc, gb, p0, p1, m, k, n);
+        });
+}
+
+void
+bmm(const float *a, const float *b, float *c, int64_t batch, int64_t m,
+    int64_t k, int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, batch, rowGrain(m * k * n), [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+                gemmRows(a + s * m * k, b + s * k * n, c + s * m * n, 0,
+                         m, k, n);
+            }
+        });
+}
+
+void
+bmmNT(const float *gc, const float *b, float *ga, int64_t batch, int64_t m,
+      int64_t k, int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, batch, rowGrain(m * k * n), [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+                gemmNTRows(gc + s * m * n, b + s * k * n, ga + s * m * k,
+                           0, m, k, n);
+            }
+        });
+}
+
+void
+bmmTN(const float *a, const float *gc, float *gb, int64_t batch, int64_t m,
+      int64_t k, int64_t n)
+{
+    ThreadPool::global().parallelFor(
+        0, batch, rowGrain(m * k * n), [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+                gemmTNRows(a + s * m * k, gc + s * m * n, gb + s * k * n,
+                           0, k, m, k, n);
+            }
+        });
+}
+
+} // namespace tlp::nn::kern

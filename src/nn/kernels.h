@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cache-blocked, thread-parallel compute kernels under the autograd ops.
+ *
+ * Every kernel distributes disjoint output row (or batch) ranges across
+ * the global ThreadPool and keeps the per-element floating-point
+ * accumulation order identical to the naive i-k-j loops it replaced —
+ * k-blocks are visited in increasing order, and each output element is
+ * owned by exactly one thread — so results are bit-identical for any
+ * thread count (no atomics, no cross-thread reductions) and to the
+ * original scalar code.
+ *
+ * The scalar micro-kernels are plain i-k-j loops with the A element
+ * hoisted, which the compiler auto-vectorizes over the unit-stride j
+ * dimension; blocking over k (and i for the transposed update) keeps
+ * the streamed B / dC panels resident in L1.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace tlp::nn::kern {
+
+/**
+ * Scalar work (~flops) a chunk must amortize before a loop is split
+ * across threads; small tensors stay on the calling thread.
+ */
+constexpr int64_t kParallelGrainWork = 16 * 1024;
+
+/** Rows per chunk so each chunk holds ~kParallelGrainWork scalar ops. */
+int64_t rowGrain(int64_t work_per_row);
+
+/** C[m, n] = A[m, k] * B[k, n] (C fully overwritten). */
+void gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
+          int64_t n);
+
+/** GA[m, k] += GC[m, n] * B[k, n]^T (the dA = dC * B^T update). */
+void gemmNT(const float *gc, const float *b, float *ga, int64_t m,
+            int64_t k, int64_t n);
+
+/** GB[k, n] += A[m, k]^T * GC[m, n] (the dB = A^T * dC update). */
+void gemmTN(const float *a, const float *gc, float *gb, int64_t m,
+            int64_t k, int64_t n);
+
+/** C[s] = A[s] * B[s] for s in [0, batch) (C fully overwritten). */
+void bmm(const float *a, const float *b, float *c, int64_t batch,
+         int64_t m, int64_t k, int64_t n);
+
+/** GA[s] += GC[s] * B[s]^T for s in [0, batch). */
+void bmmNT(const float *gc, const float *b, float *ga, int64_t batch,
+           int64_t m, int64_t k, int64_t n);
+
+/** GB[s] += A[s]^T * GC[s] for s in [0, batch). */
+void bmmTN(const float *a, const float *gc, float *gb, int64_t batch,
+           int64_t m, int64_t k, int64_t n);
+
+} // namespace tlp::nn::kern

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
+#include "support/thread_pool.h"
+
 namespace tlp::nn {
 
 namespace {
@@ -29,6 +32,34 @@ rowsCols(const std::vector<int> &shape)
     return {shapeNumel(shape) / cols, cols};
 }
 
+/** Chunk size for ~1-flop/element maps (add, mul, relu, copies). */
+constexpr int64_t kCheapGrain = 32 * 1024;
+
+/** Chunk size for transcendental maps (exp, tanh, sigmoid). */
+constexpr int64_t kTranscendentalGrain = 4 * 1024;
+
+/** Elementwise map over [0, n), split across the global pool. */
+template <typename Fn>
+void
+parallelMap(int64_t n, int64_t grain, Fn &&fn)
+{
+    ThreadPool::global().parallelFor(
+        0, n, grain, [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i)
+                fn(i);
+        });
+}
+
+/** Row-range map over [0, rows), split across the global pool. */
+template <typename Fn>
+void
+parallelRows(int64_t rows, int64_t work_per_row, Fn &&fn)
+{
+    ThreadPool::global().parallelFor(0, rows,
+                                     kern::rowGrain(work_per_row),
+                                     std::forward<Fn>(fn));
+}
+
 } // namespace
 
 Tensor
@@ -36,15 +67,17 @@ add(const Tensor &a, const Tensor &b)
 {
     TLP_CHECK(a.shape() == b.shape(), "add shape mismatch");
     auto node = makeNode(a.shape(), {a.node(), b.node()});
-    const auto &av = a.value();
-    const auto &bv = b.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = av[i] + bv[i];
+    const float *av = a.value().data();
+    const float *bv = b.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kCheapGrain,
+                [=](int64_t i) { out[i] = av[i] + bv[i]; });
     node->backward_fn = [](Node &self) {
+        const float *g = self.grad.data();
         for (int p = 0; p < 2; ++p) {
-            auto &grad = self.parents[static_cast<size_t>(p)]->grad;
-            for (size_t i = 0; i < self.grad.size(); ++i)
-                grad[i] += self.grad[i];
+            float *grad = self.parents[static_cast<size_t>(p)]->grad.data();
+            parallelMap(self.numel(), kCheapGrain,
+                        [=](int64_t i) { grad[i] += g[i]; });
         }
     };
     return Tensor::fromNode(std::move(node));
@@ -57,25 +90,33 @@ addBias(const Tensor &x, const Tensor &bias)
     const auto [rows, cols] = rowsCols(x.shape());
     TLP_CHECK(cols == bias.numel(), "bias width mismatch");
     auto node = makeNode(x.shape(), {x.node(), bias.node()});
-    const auto &xv = x.value();
-    const auto &bv = bias.value();
-    for (int64_t r = 0; r < rows; ++r)
-        for (int64_t c = 0; c < cols; ++c)
-            node->value[static_cast<size_t>(r * cols + c)] =
-                xv[static_cast<size_t>(r * cols + c)] +
-                bv[static_cast<size_t>(c)];
+    const float *xv = x.value().data();
+    const float *bv = bias.value().data();
+    float *out = node->value.data();
     const int64_t rows_c = rows, cols_c = cols;
+    parallelRows(rows_c, cols_c, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r)
+            for (int64_t c = 0; c < cols_c; ++c)
+                out[r * cols_c + c] = xv[r * cols_c + c] + bv[c];
+    });
     node->backward_fn = [rows_c, cols_c](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        auto &gb = self.parents[1]->grad;
-        for (int64_t r = 0; r < rows_c; ++r) {
-            for (int64_t c = 0; c < cols_c; ++c) {
-                const float g =
-                    self.grad[static_cast<size_t>(r * cols_c + c)];
-                gx[static_cast<size_t>(r * cols_c + c)] += g;
-                gb[static_cast<size_t>(c)] += g;
-            }
-        }
+        float *gx = self.parents[0]->grad.data();
+        float *gb = self.parents[1]->grad.data();
+        const float *g = self.grad.data();
+        // Partition by columns: each chunk owns a disjoint slice of both
+        // gx and gb, and per column the row accumulation order into
+        // gb[c] stays the serial 0..rows order.
+        ThreadPool::global().parallelFor(
+            0, cols_c, kern::rowGrain(rows_c),
+            [=](int64_t c0, int64_t c1) {
+                for (int64_t r = 0; r < rows_c; ++r) {
+                    for (int64_t c = c0; c < c1; ++c) {
+                        const float gv = g[r * cols_c + c];
+                        gx[r * cols_c + c] += gv;
+                        gb[c] += gv;
+                    }
+                }
+            });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -85,19 +126,21 @@ mul(const Tensor &a, const Tensor &b)
 {
     TLP_CHECK(a.shape() == b.shape(), "mul shape mismatch");
     auto node = makeNode(a.shape(), {a.node(), b.node()});
-    const auto &av = a.value();
-    const auto &bv = b.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = av[i] * bv[i];
+    const float *av = a.value().data();
+    const float *bv = b.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kCheapGrain,
+                [=](int64_t i) { out[i] = av[i] * bv[i]; });
     node->backward_fn = [](Node &self) {
-        auto &ga = self.parents[0]->grad;
-        auto &gb = self.parents[1]->grad;
-        const auto &av = self.parents[0]->value;
-        const auto &bv = self.parents[1]->value;
-        for (size_t i = 0; i < self.grad.size(); ++i) {
-            ga[i] += self.grad[i] * bv[i];
-            gb[i] += self.grad[i] * av[i];
-        }
+        float *ga = self.parents[0]->grad.data();
+        float *gb = self.parents[1]->grad.data();
+        const float *av = self.parents[0]->value.data();
+        const float *bv = self.parents[1]->value.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain, [=](int64_t i) {
+            ga[i] += g[i] * bv[i];
+            gb[i] += g[i] * av[i];
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -106,13 +149,15 @@ Tensor
 scale(const Tensor &x, float factor)
 {
     auto node = makeNode(x.shape(), {x.node()});
-    const auto &xv = x.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = xv[i] * factor;
+    const float *xv = x.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kCheapGrain,
+                [=](int64_t i) { out[i] = xv[i] * factor; });
     node->backward_fn = [factor](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (size_t i = 0; i < self.grad.size(); ++i)
-            gx[i] += self.grad[i] * factor;
+        float *gx = self.parents[0]->grad.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain,
+                    [=](int64_t i) { gx[i] += g[i] * factor; });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -126,46 +171,16 @@ matmul(const Tensor &a, const Tensor &b)
     TLP_CHECK(b.dim(0) == k, "matmul contraction mismatch");
     auto node = makeNode({static_cast<int>(m), static_cast<int>(n)},
                          {a.node(), b.node()});
-    const float *av = a.value().data();
-    const float *bv = b.value().data();
-    float *cv = node->value.data();
-    std::fill(node->value.begin(), node->value.end(), 0.0f);
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t p = 0; p < k; ++p) {
-            const float aval = av[i * k + p];
-            const float *brow = bv + p * n;
-            float *crow = cv + i * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += aval * brow[j];
-        }
-    }
+    kern::gemm(a.value().data(), b.value().data(), node->value.data(), m,
+               k, n);
     node->backward_fn = [m, k, n](Node &self) {
         const float *av = self.parents[0]->value.data();
         const float *bv = self.parents[1]->value.data();
         float *ga = self.parents[0]->grad.data();
         float *gb = self.parents[1]->grad.data();
         const float *gc = self.grad.data();
-        // dA = dC * B^T
-        for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-                const float *gcrow = gc + i * n;
-                const float *brow = bv + p * n;
-                float acc = 0.0f;
-                for (int64_t j = 0; j < n; ++j)
-                    acc += gcrow[j] * brow[j];
-                ga[i * k + p] += acc;
-            }
-        }
-        // dB = A^T * dC
-        for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-                const float aval = av[i * k + p];
-                const float *gcrow = gc + i * n;
-                float *gbrow = gb + p * n;
-                for (int64_t j = 0; j < n; ++j)
-                    gbrow[j] += aval * gcrow[j];
-            }
-        }
+        kern::gemmNT(gc, bv, ga, m, k, n);   // dA += dC * B^T
+        kern::gemmTN(av, gc, gb, m, k, n);   // dB += A^T * dC
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -181,56 +196,16 @@ bmm(const Tensor &a, const Tensor &b)
     auto node = makeNode({static_cast<int>(batch), static_cast<int>(m),
                           static_cast<int>(n)},
                          {a.node(), b.node()});
-    std::fill(node->value.begin(), node->value.end(), 0.0f);
-    const float *av = a.value().data();
-    const float *bv = b.value().data();
-    float *cv = node->value.data();
-    for (int64_t s = 0; s < batch; ++s) {
-        const float *as = av + s * m * k;
-        const float *bs = bv + s * k * n;
-        float *cs = cv + s * m * n;
-        for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-                const float aval = as[i * k + p];
-                const float *brow = bs + p * n;
-                float *crow = cs + i * n;
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += aval * brow[j];
-            }
-        }
-    }
+    kern::bmm(a.value().data(), b.value().data(), node->value.data(),
+              batch, m, k, n);
     node->backward_fn = [batch, m, k, n](Node &self) {
         const float *av = self.parents[0]->value.data();
         const float *bv = self.parents[1]->value.data();
         float *ga = self.parents[0]->grad.data();
         float *gb = self.parents[1]->grad.data();
         const float *gc = self.grad.data();
-        for (int64_t s = 0; s < batch; ++s) {
-            const float *as = av + s * m * k;
-            const float *bs = bv + s * k * n;
-            float *gas = ga + s * m * k;
-            float *gbs = gb + s * k * n;
-            const float *gcs = gc + s * m * n;
-            for (int64_t i = 0; i < m; ++i) {
-                for (int64_t p = 0; p < k; ++p) {
-                    const float *gcrow = gcs + i * n;
-                    const float *brow = bs + p * n;
-                    float acc = 0.0f;
-                    for (int64_t j = 0; j < n; ++j)
-                        acc += gcrow[j] * brow[j];
-                    gas[i * k + p] += acc;
-                }
-            }
-            for (int64_t i = 0; i < m; ++i) {
-                for (int64_t p = 0; p < k; ++p) {
-                    const float aval = as[i * k + p];
-                    const float *gcrow = gcs + i * n;
-                    float *gbrow = gbs + p * n;
-                    for (int64_t j = 0; j < n; ++j)
-                        gbrow[j] += aval * gcrow[j];
-                }
-            }
-        }
+        kern::bmmNT(gc, bv, ga, batch, m, k, n);
+        kern::bmmTN(av, gc, gb, batch, m, k, n);
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -239,14 +214,18 @@ Tensor
 relu(const Tensor &x)
 {
     auto node = makeNode(x.shape(), {x.node()});
-    const auto &xv = x.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+    const float *xv = x.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kCheapGrain, [=](int64_t i) {
+        out[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+    });
     node->backward_fn = [](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        const auto &xv = self.parents[0]->value;
-        for (size_t i = 0; i < self.grad.size(); ++i)
-            gx[i] += xv[i] > 0.0f ? self.grad[i] : 0.0f;
+        float *gx = self.parents[0]->grad.data();
+        const float *xv = self.parents[0]->value.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain, [=](int64_t i) {
+            gx[i] += xv[i] > 0.0f ? g[i] : 0.0f;
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -255,15 +234,17 @@ Tensor
 tanhT(const Tensor &x)
 {
     auto node = makeNode(x.shape(), {x.node()});
-    const auto &xv = x.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = std::tanh(xv[i]);
+    const float *xv = x.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kTranscendentalGrain,
+                [=](int64_t i) { out[i] = std::tanh(xv[i]); });
     node->backward_fn = [](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (size_t i = 0; i < self.grad.size(); ++i) {
-            const float y = self.value[i];
-            gx[i] += self.grad[i] * (1.0f - y * y);
-        }
+        float *gx = self.parents[0]->grad.data();
+        const float *y = self.value.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain, [=](int64_t i) {
+            gx[i] += g[i] * (1.0f - y[i] * y[i]);
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -272,15 +253,18 @@ Tensor
 sigmoidT(const Tensor &x)
 {
     auto node = makeNode(x.shape(), {x.node()});
-    const auto &xv = x.value();
-    for (size_t i = 0; i < node->value.size(); ++i)
-        node->value[i] = 1.0f / (1.0f + std::exp(-xv[i]));
+    const float *xv = x.value().data();
+    float *out = node->value.data();
+    parallelMap(node->numel(), kTranscendentalGrain, [=](int64_t i) {
+        out[i] = 1.0f / (1.0f + std::exp(-xv[i]));
+    });
     node->backward_fn = [](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (size_t i = 0; i < self.grad.size(); ++i) {
-            const float y = self.value[i];
-            gx[i] += self.grad[i] * y * (1.0f - y);
-        }
+        float *gx = self.parents[0]->grad.data();
+        const float *y = self.value.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain, [=](int64_t i) {
+            gx[i] += g[i] * y[i] * (1.0f - y[i]);
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -290,35 +274,43 @@ softmaxLastDim(const Tensor &x)
 {
     const auto [rows, cols] = rowsCols(x.shape());
     auto node = makeNode(x.shape(), {x.node()});
-    const auto &xv = x.value();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *in = xv.data() + r * cols;
-        float *out = node->value.data() + r * cols;
-        float max_v = in[0];
-        for (int64_t c = 1; c < cols; ++c)
-            max_v = std::max(max_v, in[c]);
-        float sum = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) {
-            out[c] = std::exp(in[c] - max_v);
-            sum += out[c];
-        }
-        const float inv = 1.0f / sum;
-        for (int64_t c = 0; c < cols; ++c)
-            out[c] *= inv;
-    }
+    const float *xv = x.value().data();
+    float *outv = node->value.data();
     const int64_t rows_c = rows, cols_c = cols;
-    node->backward_fn = [rows_c, cols_c](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (int64_t r = 0; r < rows_c; ++r) {
-            const float *y = self.value.data() + r * cols_c;
-            const float *gy = self.grad.data() + r * cols_c;
-            float dot = 0.0f;
+    // exp() dominates the row cost; weight the grain accordingly.
+    parallelRows(rows_c, 8 * cols_c, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *in = xv + r * cols_c;
+            float *out = outv + r * cols_c;
+            float max_v = in[0];
+            for (int64_t c = 1; c < cols_c; ++c)
+                max_v = std::max(max_v, in[c]);
+            float sum = 0.0f;
+            for (int64_t c = 0; c < cols_c; ++c) {
+                out[c] = std::exp(in[c] - max_v);
+                sum += out[c];
+            }
+            const float inv = 1.0f / sum;
             for (int64_t c = 0; c < cols_c; ++c)
-                dot += y[c] * gy[c];
-            float *g = gx.data() + r * cols_c;
-            for (int64_t c = 0; c < cols_c; ++c)
-                g[c] += y[c] * (gy[c] - dot);
+                out[c] *= inv;
         }
+    });
+    node->backward_fn = [rows_c, cols_c](Node &self) {
+        float *gx = self.parents[0]->grad.data();
+        const float *yv = self.value.data();
+        const float *gyv = self.grad.data();
+        parallelRows(rows_c, 3 * cols_c, [=](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const float *y = yv + r * cols_c;
+                const float *gy = gyv + r * cols_c;
+                float dot = 0.0f;
+                for (int64_t c = 0; c < cols_c; ++c)
+                    dot += y[c] * gy[c];
+                float *g = gx + r * cols_c;
+                for (int64_t c = 0; c < cols_c; ++c)
+                    g[c] += y[c] * (gy[c] - dot);
+            }
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -333,39 +325,46 @@ softmaxLastDimCausal(const Tensor &x)
     const int64_t l = shape.back();
     const auto [rows, cols] = rowsCols(shape);
     auto node = makeNode(shape, {x.node()});
-    const auto &xv = x.value();
-    for (int64_t r = 0; r < rows; ++r) {
-        const int64_t allowed = (r % l) + 1;   // row index within block
-        const float *in = xv.data() + r * cols;
-        float *out = node->value.data() + r * cols;
-        float max_v = in[0];
-        for (int64_t c = 1; c < allowed; ++c)
-            max_v = std::max(max_v, in[c]);
-        float sum = 0.0f;
-        for (int64_t c = 0; c < allowed; ++c) {
-            out[c] = std::exp(in[c] - max_v);
-            sum += out[c];
-        }
-        const float inv = 1.0f / sum;
-        for (int64_t c = 0; c < allowed; ++c)
-            out[c] *= inv;
-        for (int64_t c = allowed; c < cols; ++c)
-            out[c] = 0.0f;
-    }
+    const float *xv = x.value().data();
+    float *outv = node->value.data();
     const int64_t rows_c = rows, cols_c = cols;
-    node->backward_fn = [rows_c, cols_c](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (int64_t r = 0; r < rows_c; ++r) {
-            const float *y = self.value.data() + r * cols_c;
-            const float *gy = self.grad.data() + r * cols_c;
-            float dot = 0.0f;
-            for (int64_t c = 0; c < cols_c; ++c)
-                dot += y[c] * gy[c];
-            float *g = gx.data() + r * cols_c;
-            // masked positions have y == 0 and receive no gradient
-            for (int64_t c = 0; c < cols_c; ++c)
-                g[c] += y[c] * (gy[c] - dot);
+    parallelRows(rows_c, 8 * cols_c, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t allowed = (r % l) + 1;   // row index in block
+            const float *in = xv + r * cols_c;
+            float *out = outv + r * cols_c;
+            float max_v = in[0];
+            for (int64_t c = 1; c < allowed; ++c)
+                max_v = std::max(max_v, in[c]);
+            float sum = 0.0f;
+            for (int64_t c = 0; c < allowed; ++c) {
+                out[c] = std::exp(in[c] - max_v);
+                sum += out[c];
+            }
+            const float inv = 1.0f / sum;
+            for (int64_t c = 0; c < allowed; ++c)
+                out[c] *= inv;
+            for (int64_t c = allowed; c < cols_c; ++c)
+                out[c] = 0.0f;
         }
+    });
+    node->backward_fn = [rows_c, cols_c](Node &self) {
+        float *gx = self.parents[0]->grad.data();
+        const float *yv = self.value.data();
+        const float *gyv = self.grad.data();
+        parallelRows(rows_c, 3 * cols_c, [=](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const float *y = yv + r * cols_c;
+                const float *gy = gyv + r * cols_c;
+                float dot = 0.0f;
+                for (int64_t c = 0; c < cols_c; ++c)
+                    dot += y[c] * gy[c];
+                float *g = gx + r * cols_c;
+                // masked positions have y == 0 and receive no gradient
+                for (int64_t c = 0; c < cols_c; ++c)
+                    g[c] += y[c] * (gy[c] - dot);
+            }
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -383,23 +382,33 @@ transposeLast2(const Tensor &x)
     const int64_t batch = shapeNumel(shape) / (rows * cols);
 
     auto node = makeNode(out_shape, {x.node()});
-    const auto &xv = x.value();
-    for (int64_t s = 0; s < batch; ++s) {
-        const float *in = xv.data() + s * rows * cols;
-        float *out = node->value.data() + s * rows * cols;
-        for (int64_t r = 0; r < rows; ++r)
-            for (int64_t c = 0; c < cols; ++c)
-                out[c * rows + r] = in[r * cols + c];
-    }
+    const float *xv = x.value().data();
+    float *outv = node->value.data();
+    ThreadPool::global().parallelFor(
+        0, batch, kern::rowGrain(rows * cols),
+        [=](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+                const float *in = xv + s * rows * cols;
+                float *out = outv + s * rows * cols;
+                for (int64_t r = 0; r < rows; ++r)
+                    for (int64_t c = 0; c < cols; ++c)
+                        out[c * rows + r] = in[r * cols + c];
+            }
+        });
     node->backward_fn = [batch, rows, cols](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (int64_t s = 0; s < batch; ++s) {
-            const float *gout = self.grad.data() + s * rows * cols;
-            float *gin = gx.data() + s * rows * cols;
-            for (int64_t r = 0; r < rows; ++r)
-                for (int64_t c = 0; c < cols; ++c)
-                    gin[r * cols + c] += gout[c * rows + r];
-        }
+        float *gx = self.parents[0]->grad.data();
+        const float *gv = self.grad.data();
+        ThreadPool::global().parallelFor(
+            0, batch, kern::rowGrain(rows * cols),
+            [=](int64_t s0, int64_t s1) {
+                for (int64_t s = s0; s < s1; ++s) {
+                    const float *gout = gv + s * rows * cols;
+                    float *gin = gx + s * rows * cols;
+                    for (int64_t r = 0; r < rows; ++r)
+                        for (int64_t c = 0; c < cols; ++c)
+                            gin[r * cols + c] += gout[c * rows + r];
+                }
+            });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -412,27 +421,36 @@ permute0213(const Tensor &x)
     const int64_t a = shape[0], b = shape[1], c = shape[2], d = shape[3];
     auto node = makeNode({shape[0], shape[2], shape[1], shape[3]},
                          {x.node()});
-    const auto &xv = x.value();
-    for (int64_t ia = 0; ia < a; ++ia)
-        for (int64_t ib = 0; ib < b; ++ib)
-            for (int64_t ic = 0; ic < c; ++ic) {
-                const float *in = xv.data() + ((ia * b + ib) * c + ic) * d;
-                float *out = node->value.data() +
-                             ((ia * c + ic) * b + ib) * d;
-                std::copy(in, in + d, out);
-            }
+    const float *xv = x.value().data();
+    float *outv = node->value.data();
+    ThreadPool::global().parallelFor(
+        0, a, kern::rowGrain(b * c * d), [=](int64_t a0, int64_t a1) {
+            for (int64_t ia = a0; ia < a1; ++ia)
+                for (int64_t ib = 0; ib < b; ++ib)
+                    for (int64_t ic = 0; ic < c; ++ic) {
+                        const float *in =
+                            xv + ((ia * b + ib) * c + ic) * d;
+                        float *out =
+                            outv + ((ia * c + ic) * b + ib) * d;
+                        std::copy(in, in + d, out);
+                    }
+        });
     node->backward_fn = [a, b, c, d](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (int64_t ia = 0; ia < a; ++ia)
-            for (int64_t ib = 0; ib < b; ++ib)
-                for (int64_t ic = 0; ic < c; ++ic) {
-                    float *gin =
-                        gx.data() + ((ia * b + ib) * c + ic) * d;
-                    const float *gout = self.grad.data() +
-                                        ((ia * c + ic) * b + ib) * d;
-                    for (int64_t id = 0; id < d; ++id)
-                        gin[id] += gout[id];
-                }
+        float *gx = self.parents[0]->grad.data();
+        const float *gv = self.grad.data();
+        ThreadPool::global().parallelFor(
+            0, a, kern::rowGrain(b * c * d), [=](int64_t a0, int64_t a1) {
+                for (int64_t ia = a0; ia < a1; ++ia)
+                    for (int64_t ib = 0; ib < b; ++ib)
+                        for (int64_t ic = 0; ic < c; ++ic) {
+                            float *gin =
+                                gx + ((ia * b + ib) * c + ic) * d;
+                            const float *gout =
+                                gv + ((ia * c + ic) * b + ib) * d;
+                            for (int64_t id = 0; id < d; ++id)
+                                gin[id] += gout[id];
+                        }
+            });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -445,9 +463,10 @@ reshape(const Tensor &x, const std::vector<int> &shape)
     auto node = makeNode(shape, {x.node()});
     node->value = x.value();
     node->backward_fn = [](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (size_t i = 0; i < self.grad.size(); ++i)
-            gx[i] += self.grad[i];
+        float *gx = self.parents[0]->grad.data();
+        const float *g = self.grad.data();
+        parallelMap(self.numel(), kCheapGrain,
+                    [=](int64_t i) { gx[i] += g[i]; });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -461,10 +480,10 @@ sumAll(const Tensor &x)
         sum += v;
     node->value[0] = sum;
     node->backward_fn = [](Node &self) {
-        auto &gx = self.parents[0]->grad;
+        float *gx = self.parents[0]->grad.data();
         const float g = self.grad[0];
-        for (auto &v : gx)
-            v += g;
+        parallelMap(self.parents[0]->numel(), kCheapGrain,
+                    [=](int64_t i) { gx[i] += g; });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -481,20 +500,24 @@ sumAxis1(const Tensor &x)
     TLP_CHECK(x.shape().size() == 2, "sumAxis1 needs rank 2");
     const int64_t n = x.dim(0), m = x.dim(1);
     auto node = makeNode({static_cast<int>(n)}, {x.node()});
-    const auto &xv = x.value();
-    for (int64_t r = 0; r < n; ++r) {
-        float sum = 0.0f;
-        for (int64_t c = 0; c < m; ++c)
-            sum += xv[static_cast<size_t>(r * m + c)];
-        node->value[static_cast<size_t>(r)] = sum;
-    }
-    node->backward_fn = [n, m](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (int64_t r = 0; r < n; ++r) {
-            const float g = self.grad[static_cast<size_t>(r)];
+    const float *xv = x.value().data();
+    float *out = node->value.data();
+    parallelRows(n, m, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            float sum = 0.0f;
             for (int64_t c = 0; c < m; ++c)
-                gx[static_cast<size_t>(r * m + c)] += g;
+                sum += xv[r * m + c];
+            out[r] = sum;
         }
+    });
+    node->backward_fn = [n, m](Node &self) {
+        float *gx = self.parents[0]->grad.data();
+        const float *g = self.grad.data();
+        parallelRows(n, m, [=](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r)
+                for (int64_t c = 0; c < m; ++c)
+                    gx[r * m + c] += g[r];
+        });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -594,14 +617,17 @@ dropout(const Tensor &x, double p, Rng &rng, bool training)
     auto mask = std::make_shared<std::vector<float>>(x.value().size());
     const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
     const auto &xv = x.value();
+    // Serial: the mask must consume the Rng stream in index order.
     for (size_t i = 0; i < xv.size(); ++i) {
         (*mask)[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
         node->value[i] = xv[i] * (*mask)[i];
     }
     node->backward_fn = [mask](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        for (size_t i = 0; i < self.grad.size(); ++i)
-            gx[i] += self.grad[i] * (*mask)[i];
+        float *gx = self.parents[0]->grad.data();
+        const float *g = self.grad.data();
+        const float *mv = mask->data();
+        parallelMap(self.numel(), kCheapGrain,
+                    [=](int64_t i) { gx[i] += g[i] * mv[i]; });
     };
     return Tensor::fromNode(std::move(node));
 }
@@ -616,61 +642,83 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     auto node = makeNode(x.shape(), {x.node(), gamma.node(), beta.node()});
     auto stats = std::make_shared<std::vector<float>>(
         static_cast<size_t>(rows * 2));   // (mean, inv_std) per row
-    const auto &xv = x.value();
-    const auto &gv = gamma.value();
-    const auto &bv = beta.value();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *in = xv.data() + r * cols;
-        float mean = 0.0f;
-        for (int64_t c = 0; c < cols; ++c)
-            mean += in[c];
-        mean /= static_cast<float>(cols);
-        float var = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) {
-            const float d = in[c] - mean;
-            var += d * d;
-        }
-        var /= static_cast<float>(cols);
-        const float inv_std = 1.0f / std::sqrt(var + eps);
-        (*stats)[static_cast<size_t>(2 * r)] = mean;
-        (*stats)[static_cast<size_t>(2 * r + 1)] = inv_std;
-        float *out = node->value.data() + r * cols;
-        for (int64_t c = 0; c < cols; ++c) {
-            out[c] = (in[c] - mean) * inv_std * gv[static_cast<size_t>(c)] +
-                     bv[static_cast<size_t>(c)];
-        }
-    }
+    const float *xv = x.value().data();
+    const float *gv = gamma.value().data();
+    const float *bv = beta.value().data();
+    float *outv = node->value.data();
+    float *statv = stats->data();
     const int64_t rows_c = rows, cols_c = cols;
-    node->backward_fn = [rows_c, cols_c, stats](Node &self) {
-        auto &gx = self.parents[0]->grad;
-        auto &gg = self.parents[1]->grad;
-        auto &gb = self.parents[2]->grad;
-        const auto &xv = self.parents[0]->value;
-        const auto &gv = self.parents[1]->value;
-        for (int64_t r = 0; r < rows_c; ++r) {
-            const float mean = (*stats)[static_cast<size_t>(2 * r)];
-            const float inv_std = (*stats)[static_cast<size_t>(2 * r + 1)];
-            const float *in = xv.data() + r * cols_c;
-            const float *gy = self.grad.data() + r * cols_c;
-            // accumulate gamma/beta grads and the two reduction terms
-            float sum_gyg = 0.0f, sum_gygx = 0.0f;
+    parallelRows(rows_c, 6 * cols_c, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *in = xv + r * cols_c;
+            float mean = 0.0f;
+            for (int64_t c = 0; c < cols_c; ++c)
+                mean += in[c];
+            mean /= static_cast<float>(cols_c);
+            float var = 0.0f;
             for (int64_t c = 0; c < cols_c; ++c) {
-                const float xhat = (in[c] - mean) * inv_std;
-                gg[static_cast<size_t>(c)] += gy[c] * xhat;
-                gb[static_cast<size_t>(c)] += gy[c];
-                const float gyg = gy[c] * gv[static_cast<size_t>(c)];
-                sum_gyg += gyg;
-                sum_gygx += gyg * xhat;
+                const float d = in[c] - mean;
+                var += d * d;
             }
-            float *g = gx.data() + r * cols_c;
-            const float inv_n = 1.0f / static_cast<float>(cols_c);
-            for (int64_t c = 0; c < cols_c; ++c) {
-                const float xhat = (in[c] - mean) * inv_std;
-                const float gyg = gy[c] * gv[static_cast<size_t>(c)];
-                g[c] += inv_std *
-                        (gyg - inv_n * (sum_gyg + xhat * sum_gygx));
-            }
+            var /= static_cast<float>(cols_c);
+            const float inv_std = 1.0f / std::sqrt(var + eps);
+            statv[2 * r] = mean;
+            statv[2 * r + 1] = inv_std;
+            float *out = outv + r * cols_c;
+            for (int64_t c = 0; c < cols_c; ++c)
+                out[c] = (in[c] - mean) * inv_std * gv[c] + bv[c];
         }
+    });
+    node->backward_fn = [rows_c, cols_c, stats](Node &self) {
+        float *gx = self.parents[0]->grad.data();
+        float *gg = self.parents[1]->grad.data();
+        float *gb = self.parents[2]->grad.data();
+        const float *xv = self.parents[0]->value.data();
+        const float *gv = self.parents[1]->value.data();
+        const float *gyv = self.grad.data();
+        const float *statv = stats->data();
+        // Pass 1 — gamma/beta grads, partitioned by columns: each chunk
+        // owns disjoint gg/gb entries and accumulates rows in the serial
+        // 0..rows order, so sums are bit-identical at any thread count.
+        ThreadPool::global().parallelFor(
+            0, cols_c, kern::rowGrain(3 * rows_c),
+            [=](int64_t c0, int64_t c1) {
+                for (int64_t r = 0; r < rows_c; ++r) {
+                    const float mean = statv[2 * r];
+                    const float inv_std = statv[2 * r + 1];
+                    const float *in = xv + r * cols_c;
+                    const float *gy = gyv + r * cols_c;
+                    for (int64_t c = c0; c < c1; ++c) {
+                        const float xhat = (in[c] - mean) * inv_std;
+                        gg[c] += gy[c] * xhat;
+                        gb[c] += gy[c];
+                    }
+                }
+            });
+        // Pass 2 — input grads, partitioned by rows (disjoint gx rows).
+        parallelRows(rows_c, 8 * cols_c, [=](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const float mean = statv[2 * r];
+                const float inv_std = statv[2 * r + 1];
+                const float *in = xv + r * cols_c;
+                const float *gy = gyv + r * cols_c;
+                float sum_gyg = 0.0f, sum_gygx = 0.0f;
+                for (int64_t c = 0; c < cols_c; ++c) {
+                    const float xhat = (in[c] - mean) * inv_std;
+                    const float gyg = gy[c] * gv[c];
+                    sum_gyg += gyg;
+                    sum_gygx += gyg * xhat;
+                }
+                float *g = gx + r * cols_c;
+                const float inv_n = 1.0f / static_cast<float>(cols_c);
+                for (int64_t c = 0; c < cols_c; ++c) {
+                    const float xhat = (in[c] - mean) * inv_std;
+                    const float gyg = gy[c] * gv[c];
+                    g[c] += inv_std *
+                            (gyg - inv_n * (sum_gyg + xhat * sum_gygx));
+                }
+            }
+        });
     };
     return Tensor::fromNode(std::move(node));
 }

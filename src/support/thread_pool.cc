@@ -1,0 +1,173 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/config.h"
+#include "support/logging.h"
+
+namespace tlp {
+
+namespace {
+
+/** True while this thread is executing a parallelFor chunk. */
+thread_local bool in_parallel_region = false;
+
+/** RAII guard for the in_parallel_region flag. */
+struct RegionGuard
+{
+    RegionGuard() { in_parallel_region = true; }
+    ~RegionGuard() { in_parallel_region = false; }
+};
+
+/** The process-wide pool; replaced by setGlobalThreads. */
+std::unique_ptr<ThreadPool> global_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads))
+{
+    workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+    for (int w = 0; w < num_threads_ - 1; ++w)
+        workers_.emplace_back(
+            [this, w] { workerLoop(static_cast<size_t>(w)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop(size_t worker)
+{
+    uint64_t seen_epoch = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_)
+            return;
+        seen_epoch = epoch_;
+        // Chunk 0 belongs to the caller; worker w owns chunk w + 1.
+        if (worker + 1 >= chunks_.size())
+            continue;
+        const auto [chunk_begin, chunk_end] = chunks_[worker + 1];
+        const auto *fn = job_;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            RegionGuard guard;
+            (*fn)(chunk_begin, chunk_end);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && !error_)
+            error_ = err;
+        if (--pending_ == 0)
+            done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    if (in_parallel_region) {
+        TLP_FATAL("nested ThreadPool::parallelFor: parallel regions must "
+                  "not submit parallel work");
+    }
+
+    const int64_t n = end - begin;
+    const int64_t min_chunk = std::max<int64_t>(1, grain);
+    const int64_t num_chunks = std::min<int64_t>(
+        num_threads_, (n + min_chunk - 1) / min_chunk);
+
+    if (num_chunks <= 1 || workers_.empty()) {
+        RegionGuard guard;
+        fn(begin, end);
+        return;
+    }
+
+    // Static partition: near-equal contiguous chunks, front-loaded.
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    chunks.reserve(static_cast<size_t>(num_chunks));
+    const int64_t base = n / num_chunks;
+    const int64_t rem = n % num_chunks;
+    int64_t pos = begin;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+        const int64_t size = base + (c < rem ? 1 : 0);
+        chunks.emplace_back(pos, pos + size);
+        pos += size;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        chunks_ = std::move(chunks);
+        job_ = &fn;
+        error_ = nullptr;
+        pending_ = static_cast<int>(chunks_.size()) - 1;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is participant 0; its exception is captured like any
+    // worker's so every chunk finishes before anything propagates.
+    std::exception_ptr caller_error;
+    {
+        const auto [chunk_begin, chunk_end] = chunks_.front();
+        RegionGuard guard;
+        try {
+            fn(chunk_begin, chunk_end);
+        } catch (...) {
+            caller_error = std::current_exception();
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    if (caller_error && !error_)
+        error_ = caller_error;
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    if (!global_pool)
+        global_pool = std::make_unique<ThreadPool>(configuredThreads());
+    return *global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int num_threads)
+{
+    const int clamped = std::clamp(num_threads, 1, 256);
+    if (global_pool && global_pool->numThreads() == clamped)
+        return;
+    global_pool = std::make_unique<ThreadPool>(clamped);
+}
+
+int
+ThreadPool::configuredThreads()
+{
+    const double requested = envOr("TLP_NUM_THREADS", 1.0);
+    return std::clamp(static_cast<int>(requested), 1, 256);
+}
+
+} // namespace tlp

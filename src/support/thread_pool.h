@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed-size worker pool with deterministic static partitioning.
+ *
+ * parallelFor() splits an index range into at most numThreads()
+ * contiguous chunks and runs them on the calling thread plus the pool
+ * workers. Partitioning is a pure function of (range, grain, thread
+ * count) — never of runtime timing — and callers arrange for each chunk
+ * to write a disjoint output region, so results are bit-identical for
+ * any thread count. Exceptions thrown by chunk bodies are captured and
+ * rethrown on the calling thread after every chunk has finished.
+ *
+ * The global() pool is sized from the TLP_NUM_THREADS environment
+ * variable (default 1: serial, matching the seed behaviour) and is
+ * reused across calls; setGlobalThreads() resizes it (main thread only,
+ * e.g. for a --threads flag or a thread-sweep bench). Nested
+ * parallelFor() calls are a fatal error: the NN kernels that use the
+ * pool are never re-entered, and silently serializing nested loops
+ * would hide misuse.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tlp {
+
+/** Reusable fixed-size thread pool with static work partitioning. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads - 1 workers (the caller is participant 0). */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total participants per parallelFor (workers + calling thread). */
+    int
+    numThreads() const
+    {
+        return num_threads_;
+    }
+
+    /**
+     * Run @p fn over disjoint contiguous chunks of [begin, end). Chunks
+     * hold at least @p grain indices (except possibly when the range is
+     * smaller than grain), so small ranges stay on the calling thread.
+     * Fatal when called from inside another parallelFor.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+    /** The process-wide pool, created on first use (main thread only). */
+    static ThreadPool &global();
+
+    /** Resize the global pool (main thread only, between parallel work). */
+    static void setGlobalThreads(int num_threads);
+
+    /** Thread count requested by TLP_NUM_THREADS, clamped to [1, 256]. */
+    static int configuredThreads();
+
+  private:
+    void workerLoop(size_t worker);
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< wakes workers on a new epoch
+    std::condition_variable done_cv_;   ///< wakes the caller on completion
+    uint64_t epoch_ = 0;
+    int pending_ = 0;                   ///< worker chunks still running
+    bool stop_ = false;
+    const std::function<void(int64_t, int64_t)> *job_ = nullptr;
+    std::vector<std::pair<int64_t, int64_t>> chunks_;
+    std::exception_ptr error_;
+};
+
+} // namespace tlp

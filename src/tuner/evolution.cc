@@ -38,7 +38,7 @@ evolveOneRound(const sketch::SchedulePolicy &policy,
     std::vector<double> scores;
     for (int iter = 0; iter < options.iterations; ++iter) {
         const double t0 = now();
-        scores = cost_model.scoreStates(task_id, population);
+        scores = cost_model.predictBatch(task_id, population);
         result.model_seconds += now() - t0;
 
         // Selection weights: softmax over scores.
@@ -86,7 +86,7 @@ evolveOneRound(const sketch::SchedulePolicy &policy,
 
     // Final scoring and ranking.
     const double t0 = now();
-    scores = cost_model.scoreStates(task_id, population);
+    scores = cost_model.predictBatch(task_id, population);
     result.model_seconds += now() - t0;
 
     std::vector<size_t> order(population.size());
