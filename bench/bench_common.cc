@@ -16,9 +16,6 @@ namespace tlp::bench {
 
 namespace {
 
-constexpr uint32_t kMemoMagic = 0x544c504d;   // "TLPM"
-constexpr uint32_t kMemoVersion = 1;
-
 uint64_t
 mixDouble(uint64_t hash, double value)
 {
@@ -116,39 +113,77 @@ standardDataset(const std::vector<std::string> &platforms, bool is_gpu)
 
     // The memo is stamped with a fingerprint of the format version, the
     // collection options and a behavioral probe; any mismatch (including
-    // a short or garbled file) regenerates instead of serving stale
-    // labels.
+    // a corrupt, truncated, or version-skewed file) regenerates instead
+    // of serving stale labels or crashing.
     const uint64_t fingerprint = collectionFingerprint(options);
     {
         std::ifstream is(path, std::ios::binary);
         if (is) {
-            uint32_t magic = 0;
-            uint32_t version = 0;
-            uint64_t stamp = 0;
-            is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-            is.read(reinterpret_cast<char *>(&version), sizeof(version));
-            is.read(reinterpret_cast<char *>(&stamp), sizeof(stamp));
-            if (is.good() && magic == kMemoMagic &&
-                version == kMemoVersion && stamp == fingerprint) {
-                return data::Dataset::load(is);
-            }
-            inform("bench memo ", path,
-                   " is stale or foreign; regenerating");
+            Result<data::Dataset> memo = loadBenchMemo(is, fingerprint);
+            if (memo.ok())
+                return memo.take();
+            inform("bench memo ", path, " unusable (",
+                   memo.status().toString(), "); regenerating");
         }
     }
 
     data::Dataset dataset = data::collectDataset(options);
-    {
-        std::ofstream os(path, std::ios::binary);
-        if (!os)
-            TLP_FATAL("cannot open for write: ", path);
-        BinaryWriter writer(os);
-        writeHeader(writer, kMemoMagic, kMemoVersion);
-        writer.writePod(fingerprint);
-        dataset.save(os);
-        TLP_CHECK(os.good(), "bench memo write failed: ", path);
+    const Status status = writeBenchMemo(path, fingerprint, dataset);
+    if (!status.ok()) {
+        // The memo is only a cache: losing it costs re-collection time on
+        // the next bench, never correctness.
+        warn("bench memo not saved: ", status.toString());
     }
     return dataset;
+}
+
+void
+writeBenchMemo(std::ostream &os, uint64_t fingerprint,
+               const data::Dataset &dataset)
+{
+    BinaryWriter writer(os);
+    writeHeader(writer, kMemoMagic, kMemoVersion);
+    writer.writePod(fingerprint);
+    dataset.save(os);
+}
+
+Status
+writeBenchMemo(const std::string &path, uint64_t fingerprint,
+               const data::Dataset &dataset)
+{
+    return atomicWriteFile(path, [&](std::ostream &os) {
+        writeBenchMemo(os, fingerprint, dataset);
+    });
+}
+
+Result<data::Dataset>
+loadBenchMemo(std::istream &is, uint64_t fingerprint)
+{
+    uint64_t stamp = 0;
+    const Status status = guardedParse([&] {
+        BinaryReader reader(is);
+        readHeader(reader, kMemoMagic, kMemoVersion, kMemoVersion);
+        stamp = reader.readPod<uint64_t>();
+    });
+    if (!status.ok())
+        return status;
+    if (stamp != fingerprint) {
+        return Status::error(ErrorCode::Invalid,
+                             "memo fingerprint is stale (collection "
+                             "options, format, or pipeline changed)");
+    }
+    return data::Dataset::tryLoad(is);
+}
+
+Result<data::Dataset>
+loadBenchMemo(const std::string &path, uint64_t fingerprint)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot open for read: " + path);
+    }
+    return loadBenchMemo(is, fingerprint);
 }
 
 std::vector<int>

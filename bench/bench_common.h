@@ -39,6 +39,32 @@ std::vector<std::string> benchNetworks();
 data::Dataset standardDataset(const std::vector<std::string> &platforms,
                               bool is_gpu);
 
+// --- bench memo format (exposed for the corruption tests/bench) ---
+
+/** Bench memo file magic ("TLPM"). */
+inline constexpr uint32_t kMemoMagic = 0x544c504d;
+
+/** Memo format version (v2: recoverable load + atomic write). */
+inline constexpr uint32_t kMemoVersion = 2;
+
+/** Atomically write a fingerprint-stamped dataset memo to @p path. */
+Status writeBenchMemo(const std::string &path, uint64_t fingerprint,
+                      const data::Dataset &dataset);
+
+/** Stream variant of writeBenchMemo. */
+void writeBenchMemo(std::ostream &os, uint64_t fingerprint,
+                    const data::Dataset &dataset);
+
+/**
+ * Load a bench memo. Ok only when the file is intact AND stamped with
+ * @p fingerprint; anything else (corruption, truncation, version skew,
+ * stale fingerprint) comes back as a Status so the caller regenerates.
+ */
+Result<data::Dataset> loadBenchMemo(const std::string &path,
+                                    uint64_t fingerprint);
+Result<data::Dataset> loadBenchMemo(std::istream &is,
+                                    uint64_t fingerprint);
+
 /** Cap a record-index list to the scaled default training size. */
 std::vector<int> capTrainRecords(std::vector<int> records,
                                  int64_t base_cap = 5000,

@@ -7,10 +7,14 @@
  *                      [--model ansor|random|tlp] [--rounds 20]
  *                      [--fault-rate 0.1] [--retries 2]
  *                      [--checkpoint tune.ckpt] [--resume tune.ckpt]
+ *                      [--save-model tlp.snap] [--load-model tlp.snap]
  *                      [--threads 4]
  *
  * The "tlp" model is pretrained on a freshly collected mini dataset
  * before tuning starts (a minute or so); "ansor" trains online.
+ * --save-model persists the pretrained TLP net as a checksummed
+ * snapshot and --load-model restores it (skipping pretraining); a
+ * corrupt or mismatched snapshot is one clear fatal message.
  * --fault-rate injects deterministic measurement failures (compile
  * errors, timeouts, runtime errors, outliers in equal parts); --resume
  * continues a checkpointed campaign after a crash or kill.
@@ -23,6 +27,7 @@
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
 #include "models/cost_model.h"
+#include "models/snapshot.h"
 #include "support/argparse.h"
 #include "support/thread_pool.h"
 #include "tuner/session.h"
@@ -45,6 +50,10 @@ main(int argc, char **argv)
                    "checkpoint file written every few rounds");
     args.addString("resume", "",
                    "resume from this checkpoint (implies --checkpoint)");
+    args.addString("save-model", "",
+                   "save the pretrained TLP model snapshot here");
+    args.addString("load-model", "",
+                   "load a TLP model snapshot instead of pretraining");
     args.addInt("threads", 0,
                 "worker threads for kernels/features "
                 "(0 = TLP_NUM_THREADS env, default 1)");
@@ -67,29 +76,53 @@ main(int argc, char **argv)
 
     std::unique_ptr<model::CostModel> cost_model;
     const std::string which = args.getString("model");
+    const std::string save_model = args.getString("save-model");
+    const std::string load_model = args.getString("load-model");
+    if ((!save_model.empty() || !load_model.empty()) && which != "tlp")
+        TLP_FATAL("--save-model/--load-model require --model tlp");
     if (which == "ansor") {
         cost_model = std::make_unique<model::AnsorOnlineCostModel>();
     } else if (which == "random") {
         cost_model = std::make_unique<model::RandomCostModel>();
     } else if (which == "tlp") {
-        std::printf("pretraining TLP on a mini offline dataset...\n");
-        data::CollectOptions collect;
-        collect.networks = {"resnet-34", "vgg-16", "bert-small"};
-        collect.platforms = {platform.name};
-        collect.is_gpu = platform.is_gpu;
-        collect.programs_per_subgraph = 64;
-        const auto dataset = data::collectDataset(collect);
-        std::vector<int> all_records;
-        for (size_t r = 0; r < dataset.records.size(); ++r)
-            all_records.push_back(static_cast<int>(r));
-        auto set = data::buildTlpSet(dataset, all_records, {0});
-        Rng rng(7);
-        auto net =
-            std::make_shared<model::TlpNet>(model::TlpNetConfig{}, rng);
-        model::TrainOptions options;
-        options.epochs = 4;
-        options.verbose = true;
-        trainTlpNet(*net, set, options);
+        std::shared_ptr<model::TlpNet> net;
+        if (!load_model.empty()) {
+            auto loaded = model::loadTlpSnapshot(load_model);
+            if (!loaded.ok()) {
+                TLP_FATAL("cannot load model snapshot ", load_model, ": ",
+                          loaded.status().toString());
+            }
+            net = loaded.take();
+            std::printf("loaded pretrained TLP snapshot from %s\n",
+                        load_model.c_str());
+        } else {
+            std::printf("pretraining TLP on a mini offline dataset...\n");
+            data::CollectOptions collect;
+            collect.networks = {"resnet-34", "vgg-16", "bert-small"};
+            collect.platforms = {platform.name};
+            collect.is_gpu = platform.is_gpu;
+            collect.programs_per_subgraph = 64;
+            const auto dataset = data::collectDataset(collect);
+            std::vector<int> all_records;
+            for (size_t r = 0; r < dataset.records.size(); ++r)
+                all_records.push_back(static_cast<int>(r));
+            auto set = data::buildTlpSet(dataset, all_records, {0});
+            Rng rng(7);
+            net = std::make_shared<model::TlpNet>(model::TlpNetConfig{},
+                                                  rng);
+            model::TrainOptions options;
+            options.epochs = 4;
+            options.verbose = true;
+            trainTlpNet(*net, set, options);
+        }
+        if (!save_model.empty()) {
+            const Status status = model::saveTlpSnapshot(save_model, *net);
+            if (!status.ok()) {
+                TLP_FATAL("cannot save model snapshot ", save_model, ": ",
+                          status.toString());
+            }
+            std::printf("saved TLP snapshot to %s\n", save_model.c_str());
+        }
         cost_model = std::make_unique<model::TlpCostModel>(net);
     } else {
         TLP_FATAL("unknown --model: ", which);

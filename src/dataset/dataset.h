@@ -17,6 +17,7 @@
 
 #include "ir/subgraph.h"
 #include "schedule/primitive.h"
+#include "support/result.h"
 #include "support/serialize.h"
 
 namespace tlp::data {
@@ -45,12 +46,37 @@ struct SubgraphGroup
     std::vector<float> min_latency_ms;
 };
 
+/** How a dataset file is read back (see Dataset::tryLoad). */
+struct LoadOptions
+{
+    /**
+     * Skip corrupt record chunks / trailing sections instead of failing:
+     * every record preceding the first corruption loads bit-identically,
+     * later intact chunks are also kept, and the per-class tallies land
+     * in Dataset::corruption_counts. The platform and group sections
+     * must still be intact — without them records are uninterpretable.
+     */
+    bool salvage = false;
+    /**
+     * Verify the per-section CRC32s (default). Benches switch this off
+     * to measure the checksum cost; leave it on everywhere else.
+     */
+    bool verify_checksums = true;
+};
+
 /** The dataset proper. */
 class Dataset
 {
   public:
-    /** Current on-disk format version (header version of save()). */
-    static constexpr uint32_t kFormatVersion = 2;
+    /**
+     * Current on-disk format version (header version of save()).
+     * v3 wraps everything in CRC32-checksummed sections; v2 (flat
+     * stream) is still readable, v1 gets a clean versioned error.
+     */
+    static constexpr uint32_t kFormatVersion = 3;
+
+    /** Oldest format version load() still understands. */
+    static constexpr uint32_t kMinFormatVersion = 2;
 
     /** Hardware platform names, defining the label axes. */
     std::vector<std::string> platforms;
@@ -66,6 +92,13 @@ class Dataset
      * "timeout"); failed measurements leave NaN labels in the records.
      */
     std::map<std::string, int64_t> failure_counts;
+    /**
+     * Corruption tallies from the last salvage load of this object, by
+     * class name (e.g. "records_crc", "truncated"). Describes the file
+     * the dataset came from, not the data itself, so save() does not
+     * persist it.
+     */
+    std::map<std::string, int64_t> corruption_counts;
 
     /** Index of @p platform; fatal when absent. */
     int platformIndex(const std::string &platform) const;
@@ -82,12 +115,28 @@ class Dataset
      */
     float label(int record, int platform) const;
 
+    /** Save atomically (write-tmp-then-rename); fatal on failure. */
     void save(const std::string &path) const;
+    /** Load; fatal on any error (legacy convenience over tryLoad). */
     static Dataset load(const std::string &path);
 
     /** Stream variants, for embedding a dataset in a larger file. */
     void save(std::ostream &os) const;
     static Dataset load(std::istream &is);
+
+    /** Save atomically, reporting failure instead of dying. */
+    Status trySave(const std::string &path) const;
+
+    /**
+     * Load with recoverable errors: corruption, truncation, version
+     * skew, and I/O failures come back as a Status instead of killing
+     * the process. With options.salvage, corrupt record chunks are
+     * skipped and counted in corruption_counts.
+     */
+    static Result<Dataset> tryLoad(const std::string &path,
+                                   const LoadOptions &options = {});
+    static Result<Dataset> tryLoad(std::istream &is,
+                                   const LoadOptions &options = {});
 
     // --- statistics (paper Fig. 6, Table 1, Sec. 4.3) ---
 

@@ -87,7 +87,9 @@ ComputeGraph::constant(const Shape &shape, DataType dtype)
 NodeRef
 ComputeGraph::dense(NodeRef x, int64_t units)
 {
-    const TensorDesc &in = desc(x);
+    // Copied, not referenced: the constant() call below appends to
+    // nodes_ and may reallocate it, invalidating references into it.
+    const TensorDesc in = desc(x);
     TLP_CHECK(in.shape.size() == 2, "dense expects a rank-2 input, got ",
               shapeToString(in.shape));
     NodeRef weight = constant({units, in.shape[1]}, in.dtype);
@@ -103,7 +105,9 @@ NodeRef
 ComputeGraph::conv2d(NodeRef x, int64_t out_channels, int64_t kernel,
                      int64_t stride, int64_t pad)
 {
-    const TensorDesc &in = desc(x);
+    // Copied, not referenced: the constant() call below appends to
+    // nodes_ and may reallocate it, invalidating references into it.
+    const TensorDesc in = desc(x);
     TLP_CHECK(in.shape.size() == 4, "conv2d expects NCHW");
     pad = defaultPad(kernel, pad);
     NodeRef weight =
@@ -125,7 +129,9 @@ NodeRef
 ComputeGraph::depthwiseConv2d(NodeRef x, int64_t kernel, int64_t stride,
                               int64_t pad)
 {
-    const TensorDesc &in = desc(x);
+    // Copied, not referenced: the constant() call below appends to
+    // nodes_ and may reallocate it, invalidating references into it.
+    const TensorDesc in = desc(x);
     TLP_CHECK(in.shape.size() == 4, "dwconv2d expects NCHW");
     pad = defaultPad(kernel, pad);
     NodeRef weight = constant({in.shape[1], 1, kernel, kernel}, in.dtype);
@@ -146,7 +152,9 @@ NodeRef
 ComputeGraph::groupConv2d(NodeRef x, int64_t out_channels, int64_t kernel,
                           int64_t groups, int64_t stride, int64_t pad)
 {
-    const TensorDesc &in = desc(x);
+    // Copied, not referenced: the constant() call below appends to
+    // nodes_ and may reallocate it, invalidating references into it.
+    const TensorDesc in = desc(x);
     TLP_CHECK(in.shape.size() == 4, "gconv2d expects NCHW");
     TLP_CHECK(in.shape[1] % groups == 0 && out_channels % groups == 0,
               "channels not divisible by groups");
@@ -273,7 +281,9 @@ ComputeGraph::multiply(NodeRef a, NodeRef b)
 NodeRef
 ComputeGraph::biasAdd(NodeRef x)
 {
-    const TensorDesc &in = desc(x);
+    // Copied, not referenced: the constant() call below appends to
+    // nodes_ and may reallocate it, invalidating references into it.
+    const TensorDesc in = desc(x);
     const int64_t channels =
         in.shape.size() == 4 ? in.shape[1] : in.shape.back();
     NodeRef bias = constant({channels}, in.dtype);

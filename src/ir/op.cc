@@ -125,15 +125,31 @@ OpNode
 OpNode::deserialize(BinaryReader &reader)
 {
     OpNode node;
-    node.kind = static_cast<OpKind>(reader.readPod<uint8_t>());
+    const auto raw_kind = reader.readPod<uint8_t>();
+    if (raw_kind >= static_cast<uint8_t>(OpKind::NumKinds)) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "invalid op kind " + std::to_string(raw_kind));
+    }
+    node.kind = static_cast<OpKind>(raw_kind);
     node.inputs = reader.readVector<int>();
     const auto attr_count = reader.readPod<uint32_t>();
+    // Every attr costs >= 16 stream bytes (name length + value).
+    if (attr_count > reader.remaining() / 16) {
+        throw SerializeError(ErrorCode::Truncated,
+                             "op attr count " + std::to_string(attr_count) +
+                                 " exceeds the remaining stream");
+    }
     for (uint32_t i = 0; i < attr_count; ++i) {
         std::string name = reader.readString();
         node.attrs[name] = reader.readPod<int64_t>();
     }
     node.out.shape = reader.readVector<int64_t>();
-    node.out.dtype = static_cast<DataType>(reader.readPod<uint8_t>());
+    const auto raw_dtype = reader.readPod<uint8_t>();
+    if (raw_dtype > static_cast<uint8_t>(DataType::Int8)) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "invalid dtype " + std::to_string(raw_dtype));
+    }
+    node.out.dtype = static_cast<DataType>(raw_dtype);
     return node;
 }
 

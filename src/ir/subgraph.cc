@@ -81,11 +81,35 @@ Subgraph
 Subgraph::deserialize(BinaryReader &reader)
 {
     const auto count = reader.readPod<uint32_t>();
+    // An op costs >= 22 stream bytes; corrupt counts fail before reserve.
+    if (count == 0 || count > reader.remaining() / 22 + 1) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "invalid subgraph op count " +
+                                 std::to_string(count));
+    }
     std::vector<OpNode> ops;
     ops.reserve(count);
     for (uint32_t i = 0; i < count; ++i)
         ops.push_back(OpNode::deserialize(reader));
     const auto anchor = reader.readPod<int32_t>();
+    // Validate graph structure before the constructor walks it: the
+    // anchor and every producer index must name an op in this subgraph.
+    if (anchor < -1 || anchor >= static_cast<int32_t>(count)) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "subgraph anchor " + std::to_string(anchor) +
+                                 " out of range for " +
+                                 std::to_string(count) + " ops");
+    }
+    for (const OpNode &op : ops) {
+        for (int input : op.inputs) {
+            if (input < 0 || input >= static_cast<int>(count)) {
+                throw SerializeError(ErrorCode::Corrupt,
+                                     "subgraph input index " +
+                                         std::to_string(input) +
+                                         " out of range");
+            }
+        }
+    }
     return Subgraph(std::move(ops), anchor);
 }
 

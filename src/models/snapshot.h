@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pretrained-model snapshots (TLP / MTL-TLP and the TenSet MLP).
+ *
+ * A snapshot holds the architecture config plus every parameter tensor,
+ * wrapped in the standard CRC32-checksummed section framing, so a
+ * pretraining run (the expensive artifact of Sec. 6.1/6.2) survives
+ * process restarts and corrupt files are reported as a clean Status
+ * instead of a crash. Loads return Result<T>; saves are atomic
+ * (write-tmp-then-rename).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "models/tenset_mlp.h"
+#include "models/tlp_model.h"
+#include "support/result.h"
+
+namespace tlp::model {
+
+/** Snapshot file magic ("TLPW": TLP weights). */
+inline constexpr uint32_t kSnapshotMagic = 0x544c5057;
+
+/** Current snapshot format version (min supported == current). */
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/** Save @p net (config + parameters) atomically to @p path. */
+Status saveTlpSnapshot(const std::string &path, TlpNet &net);
+
+/** Stream variant, for embedding in larger files and tests. */
+void saveTlpSnapshot(std::ostream &os, TlpNet &net);
+
+/**
+ * Load a TLP / MTL-TLP snapshot. Corruption, truncation, version skew,
+ * and architecture mismatches come back as a Status.
+ */
+Result<std::shared_ptr<TlpNet>> loadTlpSnapshot(const std::string &path);
+Result<std::shared_ptr<TlpNet>> loadTlpSnapshot(std::istream &is);
+
+/** Save the TenSet-MLP baseline the same way. */
+Status saveMlpSnapshot(const std::string &path, TensetMlpNet &net);
+void saveMlpSnapshot(std::ostream &os, TensetMlpNet &net);
+
+Result<std::shared_ptr<TensetMlpNet>>
+loadMlpSnapshot(const std::string &path);
+Result<std::shared_ptr<TensetMlpNet>> loadMlpSnapshot(std::istream &is);
+
+} // namespace tlp::model

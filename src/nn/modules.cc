@@ -34,13 +34,25 @@ Module::saveParameters(BinaryWriter &writer)
 void
 Module::loadParameters(BinaryReader &reader)
 {
+    // Mismatches throw SerializeError (not panic): a snapshot from a
+    // different architecture is corrupt input, not an internal bug.
     auto params = parameters();
     const auto count = reader.readPod<uint32_t>();
-    TLP_CHECK(count == params.size(), "parameter count mismatch");
+    if (count != params.size()) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "parameter count mismatch: stream has " +
+                                 std::to_string(count) + ", model has " +
+                                 std::to_string(params.size()));
+    }
     for (Tensor &param : params) {
         auto values = reader.readVector<float>();
-        TLP_CHECK(static_cast<int64_t>(values.size()) == param.numel(),
-                  "parameter shape mismatch");
+        if (static_cast<int64_t>(values.size()) != param.numel()) {
+            throw SerializeError(ErrorCode::Corrupt,
+                                 "parameter shape mismatch: stream has " +
+                                     std::to_string(values.size()) +
+                                     " elements, model wants " +
+                                     std::to_string(param.numel()));
+        }
         param.value() = std::move(values);
     }
 }

@@ -91,8 +91,22 @@ Primitive
 Primitive::deserialize(BinaryReader &reader)
 {
     Primitive prim;
-    prim.kind = static_cast<PrimKind>(reader.readPod<uint8_t>());
+    const auto raw_kind = reader.readPod<uint8_t>();
+    if (raw_kind >= static_cast<uint8_t>(PrimKind::NumKinds)) {
+        throw SerializeError(ErrorCode::Corrupt,
+                             "invalid primitive kind " +
+                                 std::to_string(raw_kind));
+    }
+    prim.kind = static_cast<PrimKind>(raw_kind);
     const auto count = reader.readPod<uint32_t>();
+    // Every param costs >= 2 stream bytes; an inflated count cannot
+    // reserve past the remaining input.
+    if (count > reader.remaining() / 2) {
+        throw SerializeError(ErrorCode::Truncated,
+                             "primitive param count " +
+                                 std::to_string(count) +
+                                 " exceeds the remaining stream");
+    }
     prim.params.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
         const auto tag = reader.readPod<uint8_t>();
@@ -146,6 +160,12 @@ PrimitiveSeq::deserialize(BinaryReader &reader)
 {
     PrimitiveSeq seq;
     const auto count = reader.readPod<uint32_t>();
+    // Every primitive costs >= 5 stream bytes (kind + param count).
+    if (count > reader.remaining() / 5) {
+        throw SerializeError(ErrorCode::Truncated,
+                             "primitive count " + std::to_string(count) +
+                                 " exceeds the remaining stream");
+    }
     seq.prims.reserve(count);
     for (uint32_t i = 0; i < count; ++i)
         seq.prims.push_back(Primitive::deserialize(reader));

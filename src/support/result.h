@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Recoverable error propagation for the artifact-I/O boundary.
+ *
+ * Library-boundary loaders (datasets, model snapshots, tuning
+ * checkpoints, bench memos) return Status / Result<T> instead of
+ * terminating the process, so callers can regenerate, salvage, or report
+ * one clear message. TLP_FATAL remains the right answer for CLI-level
+ * user errors and TLP_PANIC for internal bugs; Status is for failures
+ * the program is expected to survive — a corrupt or foreign file is not
+ * a bug in this process.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace tlp {
+
+/** Failure classes of recoverable operations (artifact I/O). */
+enum class ErrorCode
+{
+    Ok = 0,
+    IoError,       ///< open/read/write/rename failed at the OS level
+    Truncated,     ///< stream ends before the advertised data
+    Corrupt,       ///< checksum mismatch or structurally invalid data
+    VersionSkew,   ///< file format version outside the supported range
+    Invalid,       ///< well-formed file that doesn't fit this session
+};
+
+/** Short name of @p code, e.g. "corrupt". */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:          return "ok";
+      case ErrorCode::IoError:     return "io_error";
+      case ErrorCode::Truncated:   return "truncated";
+      case ErrorCode::Corrupt:     return "corrupt";
+      case ErrorCode::VersionSkew: return "version_skew";
+      case ErrorCode::Invalid:     return "invalid";
+    }
+    return "unknown";
+}
+
+/** The outcome of a recoverable operation: Ok or a coded message. */
+class Status
+{
+  public:
+    /** Default: success. */
+    Status() = default;
+
+    /** Failed status with a code and a human-readable message. */
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        Status status;
+        status.code_ = code;
+        status.message_ = std::move(message);
+        return status;
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(errorCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/** A Status or a value: the return type of recoverable loaders. */
+template <typename T>
+class Result
+{
+  public:
+    /** Successful result holding @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failed result; @p status must not be ok. */
+    Result(Status status) : status_(std::move(status))
+    {
+        TLP_CHECK(!status_.ok(), "Result built from an ok Status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    /** The held value; panics when !ok(). */
+    T &
+    value()
+    {
+        TLP_CHECK(value_.has_value(), "Result::value() on error: ",
+                  status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        TLP_CHECK(value_.has_value(), "Result::value() on error: ",
+                  status_.toString());
+        return *value_;
+    }
+
+    /** Move the held value out; panics when !ok(). */
+    T
+    take()
+    {
+        TLP_CHECK(value_.has_value(), "Result::take() on error: ",
+                  status_.toString());
+        T moved = std::move(*value_);
+        value_.reset();
+        return moved;
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace tlp

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "schedule/lower.h"
 #include "support/logging.h"
@@ -15,7 +16,10 @@ namespace tlp::tune {
 namespace {
 
 constexpr uint32_t kSessionMagic = 0x544c5053;   // "TLPS"
-constexpr uint32_t kSessionVersion = 1;
+// v2 wraps the whole state in one CRC32-checksummed section; v1 (flat
+// stream) checkpoints get a clean versioned error, not a parse crash.
+constexpr uint32_t kSessionVersion = 2;
+constexpr uint32_t kStateTag = sectionTag("STAT");
 
 double
 now()
@@ -110,104 +114,175 @@ saveCheckpoint(const std::string &path, uint64_t digest,
                const std::vector<TaskState> &tasks,
                const hw::Measurer &measurer)
 {
-    // Write to a temp file and rename so a crash mid-write never
-    // clobbers the previous good checkpoint.
-    const std::string tmp_path = path + ".tmp";
-    {
-        std::ofstream os(tmp_path, std::ios::binary);
-        if (!os)
-            TLP_FATAL("cannot open checkpoint for write: ", tmp_path);
+    // Atomic write (tmp + rename) so a crash or full disk mid-write
+    // never clobbers the previous good checkpoint; a failed write only
+    // costs checkpoint freshness, never the running campaign.
+    const Status status = atomicWriteFile(path, [&](std::ostream &os) {
         BinaryWriter writer(os);
         writeHeader(writer, kSessionMagic, kSessionVersion);
-        writer.writePod(digest);
-        writer.writePod<int32_t>(session.rounds_done);
-        session.rng.serialize(writer);
-        measurer.serializeState(writer);
+        writeSection(writer, kStateTag, [&](BinaryWriter &w) {
+            w.writePod(digest);
+            w.writePod<int32_t>(session.rounds_done);
+            session.rng.serialize(w);
+            measurer.serializeState(w);
 
-        const TuneResult &result = session.result;
-        writer.writePod(result.model_seconds);
-        writer.writePod(result.total_measurements);
-        writer.writeVector(result.curve);
-        writer.writeVector(result.best_per_task_ms);
+            const TuneResult &result = session.result;
+            w.writePod(result.model_seconds);
+            w.writePod(result.total_measurements);
+            w.writeVector(result.curve);
+            w.writeVector(result.best_per_task_ms);
 
-        writer.writePod<uint32_t>(static_cast<uint32_t>(tasks.size()));
-        for (const TaskState &task : tasks) {
-            writer.writePod(task.best_ms);
-            writer.writePod<int32_t>(task.rounds_done);
-            writer.writePod(task.last_improvement);
-            std::vector<uint64_t> hashes(task.measured_hashes.begin(),
-                                         task.measured_hashes.end());
-            writer.writeVector(hashes);
-        }
-
-        writer.writePod<uint64_t>(session.history.size());
-        for (const RoundHistory &round : session.history) {
-            writer.writePod<int32_t>(round.task_id);
-            writer.writePod<uint32_t>(
-                static_cast<uint32_t>(round.seqs.size()));
-            for (size_t i = 0; i < round.seqs.size(); ++i) {
-                round.seqs[i].serialize(writer);
-                writer.writePod(round.latency_ms[i]);
+            w.writePod<uint32_t>(static_cast<uint32_t>(tasks.size()));
+            for (const TaskState &task : tasks) {
+                w.writePod(task.best_ms);
+                w.writePod<int32_t>(task.rounds_done);
+                w.writePod(task.last_improvement);
+                std::vector<uint64_t> hashes(task.measured_hashes.begin(),
+                                             task.measured_hashes.end());
+                w.writeVector(hashes);
             }
-        }
-        TLP_CHECK(writer.good(), "checkpoint write failed: ", tmp_path);
+
+            w.writePod<uint64_t>(session.history.size());
+            for (const RoundHistory &round : session.history) {
+                w.writePod<int32_t>(round.task_id);
+                w.writePod<uint32_t>(
+                    static_cast<uint32_t>(round.seqs.size()));
+                for (size_t i = 0; i < round.seqs.size(); ++i) {
+                    round.seqs[i].serialize(w);
+                    w.writePod(round.latency_ms[i]);
+                }
+            }
+        });
+    });
+    if (!status.ok()) {
+        warn("checkpoint write skipped (previous checkpoint kept): ",
+             status.toString());
     }
-    if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
-        TLP_FATAL("cannot move checkpoint into place: ", path);
 }
 
-SessionState
-loadCheckpoint(const std::string &path, uint64_t digest,
-               std::vector<TaskState> &tasks, hw::Measurer &measurer)
+/**
+ * Parse a checkpoint stream. With null @p expect_digest / @p tasks /
+ * @p measurer the state is fully validated but applied nowhere (the
+ * verifyCheckpoint path). Returns a Status instead of dying on corrupt,
+ * truncated, version-skewed, or foreign files.
+ */
+Result<SessionState>
+readCheckpoint(std::istream &is, const uint64_t *expect_digest,
+               std::vector<TaskState> *tasks, hw::Measurer *measurer)
+{
+    SessionState session;
+    const Status status = guardedParse([&] {
+        BinaryReader reader(is);
+        readHeader(reader, kSessionMagic, kSessionVersion,
+                   kSessionVersion);
+        Section section = readSection(reader);
+        if (section.tag != kStateTag) {
+            throw SerializeError(ErrorCode::Corrupt,
+                                 "unexpected checkpoint section " +
+                                     sectionTagName(section.tag));
+        }
+        if (!section.crc_ok) {
+            throw SerializeError(ErrorCode::Corrupt,
+                                 "checkpoint checksum mismatch");
+        }
+        if (reader.remaining() != 0) {
+            throw SerializeError(ErrorCode::Corrupt,
+                                 "trailing bytes after checkpoint state");
+        }
+
+        std::istringstream payload(section.payload);
+        BinaryReader body(payload);
+        const auto saved_digest = body.readPod<uint64_t>();
+        if (expect_digest && saved_digest != *expect_digest) {
+            throw SerializeError(
+                ErrorCode::Invalid,
+                "checkpoint was taken under a different session "
+                "configuration (workload, platform, seed, or options "
+                "changed)");
+        }
+        session.rounds_done = body.readPod<int32_t>();
+        session.rng = Rng::deserialize(body);
+        if (measurer) {
+            measurer->deserializeState(body);
+        } else {
+            // Verification only: parse into a scratch measurer (the
+            // platform is irrelevant, deserializeState overwrites all
+            // state it touches).
+            hw::Measurer scratch(
+                hw::HardwarePlatform::preset("i7-10510u"),
+                hw::MeasureOptions{}, 0);
+            scratch.deserializeState(body);
+        }
+
+        session.result.model_seconds = body.readPod<double>();
+        session.result.total_measurements = body.readPod<int64_t>();
+        session.result.curve = body.readVector<CurvePoint>();
+        session.result.best_per_task_ms = body.readVector<double>();
+
+        const auto num_tasks = body.readPod<uint32_t>();
+        if (tasks && num_tasks != tasks->size()) {
+            throw SerializeError(ErrorCode::Invalid,
+                                 "checkpoint has " +
+                                     std::to_string(num_tasks) +
+                                     " tasks, session has " +
+                                     std::to_string(tasks->size()));
+        }
+        // A task entry costs >= 28 stream bytes.
+        if (num_tasks > body.remaining() / 28 + 1) {
+            throw SerializeError(ErrorCode::Truncated,
+                                 "checkpoint task count " +
+                                     std::to_string(num_tasks) +
+                                     " exceeds the remaining stream");
+        }
+        for (uint32_t i = 0; i < num_tasks; ++i) {
+            TaskState scratch_task;
+            TaskState &task = tasks ? (*tasks)[i] : scratch_task;
+            task.best_ms = body.readPod<double>();
+            task.rounds_done = body.readPod<int32_t>();
+            task.last_improvement = body.readPod<double>();
+            const auto hashes = body.readVector<uint64_t>();
+            task.measured_hashes.insert(hashes.begin(), hashes.end());
+        }
+
+        const auto num_rounds = body.readPod<uint64_t>();
+        if (num_rounds > body.remaining() / 8 + 1) {
+            throw SerializeError(ErrorCode::Truncated,
+                                 "checkpoint round count " +
+                                     std::to_string(num_rounds) +
+                                     " exceeds the remaining stream");
+        }
+        session.history.reserve(num_rounds);
+        for (uint64_t r = 0; r < num_rounds; ++r) {
+            RoundHistory round;
+            round.task_id = body.readPod<int32_t>();
+            const auto count = body.readPod<uint32_t>();
+            for (uint32_t i = 0; i < count; ++i) {
+                round.seqs.push_back(
+                    sched::PrimitiveSeq::deserialize(body));
+                round.latency_ms.push_back(body.readPod<double>());
+            }
+            session.history.push_back(std::move(round));
+        }
+        if (body.remaining() != 0) {
+            throw SerializeError(ErrorCode::Corrupt,
+                                 "trailing bytes in checkpoint state");
+        }
+    });
+    if (!status.ok())
+        return status;
+    return session;
+}
+
+Result<SessionState>
+readCheckpointFile(const std::string &path, const uint64_t *expect_digest,
+                   std::vector<TaskState> *tasks, hw::Measurer *measurer)
 {
     std::ifstream is(path, std::ios::binary);
-    if (!is)
-        TLP_FATAL("cannot open checkpoint for read: ", path);
-    BinaryReader reader(is);
-    readHeader(reader, kSessionMagic, kSessionVersion);
-    const auto saved_digest = reader.readPod<uint64_t>();
-    if (saved_digest != digest) {
-        TLP_FATAL("checkpoint ", path,
-                  " was taken under a different session configuration "
-                  "(workload, platform, seed, or options changed)");
+    if (!is) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot open for read: " + path);
     }
-
-    SessionState session;
-    session.rounds_done = reader.readPod<int32_t>();
-    session.rng = Rng::deserialize(reader);
-    measurer.deserializeState(reader);
-
-    session.result.model_seconds = reader.readPod<double>();
-    session.result.total_measurements = reader.readPod<int64_t>();
-    session.result.curve = reader.readVector<CurvePoint>();
-    session.result.best_per_task_ms = reader.readVector<double>();
-
-    const auto num_tasks = reader.readPod<uint32_t>();
-    if (num_tasks != tasks.size()) {
-        TLP_FATAL("checkpoint ", path, " has ", num_tasks,
-                  " tasks, session has ", tasks.size());
-    }
-    for (TaskState &task : tasks) {
-        task.best_ms = reader.readPod<double>();
-        task.rounds_done = reader.readPod<int32_t>();
-        task.last_improvement = reader.readPod<double>();
-        const auto hashes = reader.readVector<uint64_t>();
-        task.measured_hashes.insert(hashes.begin(), hashes.end());
-    }
-
-    const auto num_rounds = reader.readPod<uint64_t>();
-    session.history.reserve(num_rounds);
-    for (uint64_t r = 0; r < num_rounds; ++r) {
-        RoundHistory round;
-        round.task_id = reader.readPod<int32_t>();
-        const auto count = reader.readPod<uint32_t>();
-        for (uint32_t i = 0; i < count; ++i) {
-            round.seqs.push_back(sched::PrimitiveSeq::deserialize(reader));
-            round.latency_ms.push_back(reader.readPod<double>());
-        }
-        session.history.push_back(std::move(round));
-    }
-    return session;
+    return readCheckpoint(is, expect_digest, tasks, measurer);
 }
 
 bool
@@ -262,8 +337,15 @@ tuneWorkload(const ir::Workload &workload,
     }
     if (options.resume && checkpointing &&
         fileExists(options.checkpoint_path)) {
-        session = loadCheckpoint(options.checkpoint_path, digest, tasks,
-                                 measurer);
+        Result<SessionState> loaded = readCheckpointFile(
+            options.checkpoint_path, &digest, &tasks, &measurer);
+        if (!loaded.ok()) {
+            TLP_FATAL("cannot resume from checkpoint ",
+                      options.checkpoint_path, ": ",
+                      loaded.status().toString(),
+                      "; delete the file or drop --resume to start fresh");
+        }
+        session = loaded.take();
         // Rebuild the online model by replaying the measured history in
         // the original round order; pretrained models ignore update().
         for (const RoundHistory &round : session.history) {
@@ -410,6 +492,18 @@ tuneWorkload(const ir::Workload &workload,
     result.wasted_measure_seconds = measurer.failureSeconds();
     result.quarantined_candidates = measurer.quarantineSize();
     return result;
+}
+
+Status
+verifyCheckpoint(std::istream &is)
+{
+    return readCheckpoint(is, nullptr, nullptr, nullptr).status();
+}
+
+Status
+verifyCheckpoint(const std::string &path)
+{
+    return readCheckpointFile(path, nullptr, nullptr, nullptr).status();
 }
 
 } // namespace tlp::tune

@@ -25,9 +25,12 @@
  */
 #pragma once
 
+#include <iosfwd>
+
 #include "hwmodel/measurer.h"
 #include "ir/subgraph.h"
 #include "models/cost_model.h"
+#include "support/result.h"
 #include "tuner/evolution.h"
 
 namespace tlp::tune {
@@ -93,5 +96,16 @@ TuneResult tuneWorkload(const ir::Workload &workload,
                         const hw::HardwarePlatform &platform,
                         model::CostModel &cost_model,
                         const TuneOptions &options);
+
+/**
+ * Parse and integrity-check a checkpoint file (framing, checksum, every
+ * field) without resuming from it. Ok means a resume would accept the
+ * file structurally; a corrupt, truncated, or version-skewed file comes
+ * back as a Status instead of killing the process.
+ */
+Status verifyCheckpoint(const std::string &path);
+
+/** Stream variant of verifyCheckpoint, for tests and tools. */
+Status verifyCheckpoint(std::istream &is);
 
 } // namespace tlp::tune

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "support/argparse.h"
@@ -98,6 +100,21 @@ TEST(Hash, FnvAndCombineStable)
     EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
 }
 
+/** Expect @p body to throw SerializeError carrying @p code and @p text. */
+template <typename Fn>
+void
+expectSerializeError(Fn &&body, ErrorCode code, const std::string &text)
+{
+    try {
+        body();
+        FAIL() << "expected SerializeError(" << errorCodeName(code) << ")";
+    } catch (const SerializeError &error) {
+        EXPECT_EQ(error.code(), code) << error.what();
+        EXPECT_NE(std::string(error.what()).find(text), std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(Serialize, RoundTripPodStringVector)
 {
     std::stringstream ss;
@@ -109,7 +126,7 @@ TEST(Serialize, RoundTripPodStringVector)
         writer.writeVector<float>({1.5f, -2.5f});
     }
     BinaryReader reader(ss);
-    readHeader(reader, 0xABCD, 3);
+    readHeader(reader, 0xABCD, 1, 3);
     EXPECT_EQ(reader.readPod<int64_t>(), -17);
     EXPECT_EQ(reader.readString(), "schedule");
     const auto floats = reader.readVector<float>();
@@ -126,10 +143,10 @@ TEST(Serialize, ReadHeaderReturnsOlderVersion)
         writeHeader(writer, 0xABCD, 1);
     }
     BinaryReader reader(ss);
-    EXPECT_EQ(readHeader(reader, 0xABCD, 3), 1u);
+    EXPECT_EQ(readHeader(reader, 0xABCD, 1, 3), 1u);
 }
 
-TEST(SerializeDeathTest, WrongMagicIsFatal)
+TEST(Serialize, WrongMagicThrowsCorrupt)
 {
     std::stringstream ss;
     {
@@ -137,31 +154,41 @@ TEST(SerializeDeathTest, WrongMagicIsFatal)
         writeHeader(writer, 0x1111, 1);
     }
     BinaryReader reader(ss);
-    EXPECT_EXIT(readHeader(reader, 0x2222, 1),
-                ::testing::ExitedWithCode(1), "bad file magic");
+    expectSerializeError([&] { readHeader(reader, 0x2222, 1, 1); },
+                         ErrorCode::Corrupt, "bad file magic");
 }
 
-TEST(SerializeDeathTest, FutureVersionIsFatal)
+TEST(Serialize, VersionOutsideRangeThrowsVersionSkew)
 {
-    std::stringstream ss;
+    std::stringstream future;
     {
-        BinaryWriter writer(ss);
+        BinaryWriter writer(future);
         writeHeader(writer, 0xABCD, 9);
     }
-    BinaryReader reader(ss);
-    EXPECT_EXIT(readHeader(reader, 0xABCD, 3),
-                ::testing::ExitedWithCode(1),
-                "newer than supported version");
+    BinaryReader future_reader(future);
+    expectSerializeError(
+        [&] { readHeader(future_reader, 0xABCD, 1, 3); },
+        ErrorCode::VersionSkew, "outside the supported range");
+
+    std::stringstream past;
+    {
+        BinaryWriter writer(past);
+        writeHeader(writer, 0xABCD, 1);
+    }
+    BinaryReader past_reader(past);
+    expectSerializeError([&] { readHeader(past_reader, 0xABCD, 2, 3); },
+                         ErrorCode::VersionSkew,
+                         "outside the supported range");
 }
 
-TEST(SerializeDeathTest, TruncatedStreamIsFatal)
+TEST(Serialize, TruncatedStreamThrows)
 {
     // A short header, a short string body, and a short vector body are
-    // all user errors (corrupt file), not internal bugs: exit(1).
+    // all recoverable parse failures, not internal bugs.
     std::stringstream empty;
     BinaryReader reader(empty);
-    EXPECT_EXIT(readHeader(reader, 0xABCD, 1),
-                ::testing::ExitedWithCode(1), "truncated binary stream");
+    expectSerializeError([&] { readHeader(reader, 0xABCD, 1, 1); },
+                         ErrorCode::Truncated, "truncated binary stream");
 
     std::stringstream short_string;
     {
@@ -169,8 +196,8 @@ TEST(SerializeDeathTest, TruncatedStreamIsFatal)
         writer.writePod<uint64_t>(100);   // promises 100 bytes, has none
     }
     BinaryReader string_reader(short_string);
-    EXPECT_EXIT(string_reader.readString(),
-                ::testing::ExitedWithCode(1), "truncated binary stream");
+    expectSerializeError([&] { string_reader.readString(); },
+                         ErrorCode::Truncated, "truncated binary stream");
 
     std::stringstream short_vector;
     {
@@ -179,8 +206,90 @@ TEST(SerializeDeathTest, TruncatedStreamIsFatal)
         writer.writePod<float>(1.0f);     // 1 of 5 promised floats
     }
     BinaryReader vector_reader(short_vector);
-    EXPECT_EXIT(vector_reader.readVector<float>(),
-                ::testing::ExitedWithCode(1), "truncated binary stream");
+    expectSerializeError([&] { vector_reader.readVector<float>(); },
+                         ErrorCode::Truncated, "exceeds");
+}
+
+TEST(Serialize, Crc32KnownAnswer)
+{
+    // The reflected IEEE polynomial's canonical check value.
+    const std::string check = "123456789";
+    EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Serialize, SectionRoundTripAndCorruptionDetection)
+{
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writeSection(writer, sectionTag("ABCD"),
+                     [](BinaryWriter &w) { w.writeString("payload"); });
+    }
+    std::string bytes = ss.str();
+
+    std::istringstream good(bytes);
+    BinaryReader good_reader(good);
+    Section section = readSection(good_reader);
+    EXPECT_EQ(section.tag, sectionTag("ABCD"));
+    EXPECT_TRUE(section.crc_ok);
+    EXPECT_EQ(good_reader.remaining(), 0u);
+
+    // Flip one payload byte: the frame still parses, the CRC flags it.
+    bytes[bytes.size() - 1] ^= 0x40;
+    std::istringstream bad(bytes);
+    BinaryReader bad_reader(bad);
+    EXPECT_FALSE(readSection(bad_reader).crc_ok);
+}
+
+TEST(Serialize, HugeLengthPrefixRejectedBeforeAllocation)
+{
+    // A section that advertises a multi-GB payload in a tiny stream must
+    // fail by bounds check (cheap), not by allocating the advertised size.
+    std::stringstream ss;
+    {
+        BinaryWriter writer(ss);
+        writer.writePod<uint32_t>(sectionTag("EVIL"));
+        writer.writePod<uint64_t>(1ull << 40);   // 1 TiB length prefix
+        writer.writePod<uint32_t>(0);            // crc
+    }
+    BinaryReader reader(ss);
+    expectSerializeError([&] { readSection(reader); },
+                         ErrorCode::Truncated, "truncated binary stream");
+}
+
+TEST(Serialize, AtomicWriteFileCommitsAndCleansUp)
+{
+    const std::string path = "/tmp/tlp_test_atomic_write.bin";
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    Status status = atomicWriteFile(
+        path, [](std::ostream &os) { os << "generation-1"; });
+    EXPECT_TRUE(status.ok()) << status.toString();
+    {
+        std::ifstream is(path);
+        std::string body((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_EQ(body, "generation-1");
+    }
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    // A throwing body must leave the previous file untouched.
+    status = atomicWriteFile(path, [](std::ostream &os) {
+        os << "gen";
+        throw std::runtime_error("simulated write failure");
+    });
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::IoError);
+    {
+        std::ifstream is(path);
+        std::string body((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_EQ(body, "generation-1");
+    }
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
 }
 
 TEST(Rng, SerializeRoundTripContinuesIdentically)
