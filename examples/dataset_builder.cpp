@@ -73,13 +73,12 @@ main(int argc, char **argv)
         auto loaded = data::Dataset::tryLoad(path, load_options);
         if (!loaded.ok()) {
             if (!load_options.salvage) {
-                TLP_FATAL("cannot load dataset ", path, ": ",
-                          loaded.status().toString(),
-                          "; rerun with --salvage to recover the intact "
-                          "records");
+                artifactFatal(loaded.status(), "cannot load dataset ",
+                              path,
+                              " (rerun with --salvage to recover the "
+                              "intact records)");
             }
-            TLP_FATAL("cannot load dataset ", path, ": ",
-                      loaded.status().toString());
+            artifactFatal(loaded.status(), "cannot load dataset ", path);
         }
         const auto dataset = loaded.take();
         std::printf("loaded %zu records over %zu subgraph groups from "

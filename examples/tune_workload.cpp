@@ -8,7 +8,9 @@
  *                      [--fault-rate 0.1] [--retries 2]
  *                      [--checkpoint tune.ckpt] [--resume tune.ckpt]
  *                      [--save-model tlp.snap] [--load-model tlp.snap]
- *                      [--threads 4]
+ *                      [--threads 4] [--supervise]
+ *                      [--train-fault-rate 0.05] [--guarded]
+ *                      [--collapse-after 3]
  *
  * The "tlp" model is pretrained on a freshly collected mini dataset
  * before tuning starts (a minute or so); "ansor" trains online.
@@ -21,12 +23,14 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "dataset/collect.h"
 #include "dataset/splits.h"
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
 #include "models/cost_model.h"
+#include "models/guarded_model.h"
 #include "models/snapshot.h"
 #include "support/argparse.h"
 #include "support/thread_pool.h"
@@ -57,6 +61,18 @@ main(int argc, char **argv)
     args.addInt("threads", 0,
                 "worker threads for kernels/features "
                 "(0 = TLP_NUM_THREADS env, default 1)");
+    args.addBool("supervise", false,
+                 "wrap pretraining in the TrainSupervisor "
+                 "(rollback-retry on numeric anomalies)");
+    args.addDouble("train-fault-rate", 0.0,
+                   "injected training fault rate in [0, 1) "
+                   "(implies --supervise)");
+    args.addBool("guarded", false,
+                 "run the search behind the cost-model fallback ladder "
+                 "(model > ansor-online > random)");
+    args.addInt("collapse-after", 0,
+                "inject cost-model score collapse after N online "
+                "updates (needs --guarded)");
     args.parse(argc, argv);
 
     const int threads = static_cast<int>(args.getInt("threads"));
@@ -89,8 +105,8 @@ main(int argc, char **argv)
         if (!load_model.empty()) {
             auto loaded = model::loadTlpSnapshot(load_model);
             if (!loaded.ok()) {
-                TLP_FATAL("cannot load model snapshot ", load_model, ": ",
-                          loaded.status().toString());
+                artifactFatal(loaded.status(),
+                              "cannot load model snapshot ", load_model);
             }
             net = loaded.take();
             std::printf("loaded pretrained TLP snapshot from %s\n",
@@ -113,7 +129,24 @@ main(int argc, char **argv)
             model::TrainOptions options;
             options.epochs = 4;
             options.verbose = true;
+            const double train_fault_rate =
+                args.getDouble("train-fault-rate");
+            if (train_fault_rate < 0.0 || train_fault_rate >= 1.0) {
+                TLP_FATAL("--train-fault-rate must be in [0, 1), got ",
+                          train_fault_rate);
+            }
+            if (args.getBool("supervise") || train_fault_rate > 0.0) {
+                options.supervisor.enabled = true;
+                options.supervisor.faults =
+                    model::TrainFaultProfile::uniform(train_fault_rate);
+            }
+            model::HealthCounters train_health;
+            options.supervisor.health_out = &train_health;
             trainTlpNet(*net, set, options);
+            if (options.supervisor.enabled) {
+                std::printf("training health: %s\n",
+                            train_health.toString().c_str());
+            }
         }
         if (!save_model.empty()) {
             const Status status = model::saveTlpSnapshot(save_model, *net);
@@ -126,6 +159,26 @@ main(int argc, char **argv)
         cost_model = std::make_unique<model::TlpCostModel>(net);
     } else {
         TLP_FATAL("unknown --model: ", which);
+    }
+
+    // Degraded-mode search: the chosen model becomes the top rung of a
+    // fallback ladder that survives NaN scores / output collapse / lost
+    // rank correlation by quarantining the sick rung.
+    std::shared_ptr<model::GuardedCostModel> guarded;
+    model::HealthCounters search_health;
+    const int collapse_after =
+        static_cast<int>(args.getInt("collapse-after"));
+    if (collapse_after > 0 && !args.getBool("guarded"))
+        TLP_FATAL("--collapse-after needs --guarded");
+    if (args.getBool("guarded")) {
+        std::shared_ptr<model::CostModel> top = std::move(cost_model);
+        if (collapse_after > 0) {
+            top = std::make_shared<model::FaultInjectedCostModel>(
+                std::move(top), collapse_after);
+        }
+        model::GuardOptions guard_options;
+        guard_options.health_out = &search_health;
+        guarded = model::makeGuardedLadder(std::move(top), guard_options);
     }
 
     tune::TuneOptions options;
@@ -146,9 +199,21 @@ main(int argc, char **argv)
     if (!args.getString("resume").empty()) {
         options.checkpoint_path = args.getString("resume");
         options.resume = true;
+        // Damaged checkpoints are an artifact problem (exit 3), not a
+        // usage problem: verify up front instead of dying mid-resume.
+        std::ifstream probe(options.checkpoint_path, std::ios::binary);
+        if (probe) {
+            const Status status = tune::verifyCheckpoint(probe);
+            if (!status.ok()) {
+                artifactFatal(status, "cannot resume from checkpoint ",
+                              options.checkpoint_path);
+            }
+        }
     }
+    model::CostModel &search_model =
+        guarded ? static_cast<model::CostModel &>(*guarded) : *cost_model;
     const auto result =
-        tune::tuneWorkload(workload, platform, *cost_model, options);
+        tune::tuneWorkload(workload, platform, search_model, options);
 
     std::printf("\nbest workload latency: %.4f ms after %lld "
                 "measurements\n",
@@ -163,6 +228,12 @@ main(int argc, char **argv)
                     static_cast<long long>(result.failed_measurements),
                     result.wasted_measure_seconds,
                     static_cast<long long>(result.quarantined_candidates));
+    }
+    if (guarded) {
+        std::printf("cost model: %s (active: %s); search health: %s\n",
+                    result.cost_model_name.c_str(),
+                    guarded->activeName().c_str(),
+                    search_health.toString().c_str());
     }
     return 0;
 }

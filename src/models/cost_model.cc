@@ -168,9 +168,16 @@ AnsorOnlineCostModel::update(
     const std::vector<double> &latency_ms)
 {
     TLP_CHECK(states.size() == latency_ms.size(), "update size mismatch");
+    const size_t dim = static_cast<size_t>(feat::kAnsorFeatureSize);
     const auto rows = ansorFeaturesOf(states);
-    features_.insert(features_.end(), rows.begin(), rows.end());
     for (size_t i = 0; i < states.size(); ++i) {
+        // Refit guard, part 1: a non-finite or non-positive latency
+        // (faulted measurement that slipped past the measurer) would
+        // poison every future label; drop the record.
+        if (!std::isfinite(latency_ms[i]) || latency_ms[i] <= 0.0)
+            continue;
+        features_.insert(features_.end(), rows.begin() + i * dim,
+                         rows.begin() + (i + 1) * dim);
         latencies_.push_back(static_cast<float>(latency_ms[i]));
         tasks_.push_back(task_id);
         auto it = task_min_.find(task_id);
@@ -180,6 +187,8 @@ AnsorOnlineCostModel::update(
         }
         ++rows_;
     }
+    if (rows_ == 0)
+        return;
     // Retrain from scratch on normalized labels (min_latency / latency).
     std::vector<float> labels(static_cast<size_t>(rows_));
     for (int i = 0; i < rows_; ++i) {
@@ -187,11 +196,39 @@ AnsorOnlineCostModel::update(
             task_min_[tasks_[static_cast<size_t>(i)]] /
             latencies_[static_cast<size_t>(i)];
     }
-    gbdt_ = Gbdt(options_);
-    gbdt_.fit(features_, rows_, feat::kAnsorFeatureSize, labels);
+    Gbdt refit(options_);
+    refit.fit(features_, rows_, feat::kAnsorFeatureSize, labels);
+    // Refit guard, part 2: spot-check the new ensemble on its own
+    // training rows; a NaN prediction means the fit degenerated, so keep
+    // the previous (healthy) ensemble instead of installing it.
+    const int probe_rows = std::min(rows_, 16);
+    const auto probe = refit.predict(
+        std::vector<float>(features_.begin(),
+                           features_.begin() +
+                               static_cast<size_t>(probe_rows) * dim),
+        probe_rows, feat::kAnsorFeatureSize);
+    for (double p : probe) {
+        if (!std::isfinite(p)) {
+            ++refit_rejections_;
+            return;
+        }
+    }
+    gbdt_ = std::move(refit);
 }
 
 RandomCostModel::RandomCostModel(uint64_t seed) : rng_(seed) {}
+
+void
+RandomCostModel::serializeState(BinaryWriter &writer) const
+{
+    rng_.serialize(writer);
+}
+
+void
+RandomCostModel::deserializeState(BinaryReader &reader)
+{
+    rng_ = Rng::deserialize(reader);
+}
 
 std::vector<double>
 RandomCostModel::scoreStates(int task_id,

@@ -62,6 +62,17 @@ class CostModel
 
     /** True when scoring requires lowering the candidate programs. */
     virtual bool needsLowering() const = 0;
+
+    /**
+     * Persist / restore the model's search-time mutable state (rng
+     * cursors, health probes, fallback position) for tuning-checkpoint
+     * resume. Most models are pure functions of their construction plus
+     * the replayed update() history, so the default writes nothing;
+     * models with state that replay cannot rebuild (RandomCostModel,
+     * GuardedCostModel) override both.
+     */
+    virtual void serializeState(BinaryWriter &writer) const {}
+    virtual void deserializeState(BinaryReader &reader) {}
 };
 
 /** TLP / MTL-TLP cost model (offline-pretrained). */
@@ -121,6 +132,9 @@ class AnsorOnlineCostModel : public CostModel
                 const std::vector<double> &latency_ms) override;
     bool needsLowering() const override { return true; }
 
+    /** Refits rejected by the numeric guard (NaN predictions). */
+    int64_t refitRejections() const { return refit_rejections_; }
+
   private:
     GbdtOptions options_;
     Gbdt gbdt_;
@@ -129,6 +143,7 @@ class AnsorOnlineCostModel : public CostModel
     std::vector<int> tasks_;
     std::map<int, float> task_min_;
     int rows_ = 0;
+    int64_t refit_rejections_ = 0;
 };
 
 /** Uniform-random scores. */
@@ -142,6 +157,8 @@ class RandomCostModel : public CostModel
     scoreStates(int task_id, const std::vector<sched::State> &states)
         override;
     bool needsLowering() const override { return false; }
+    void serializeState(BinaryWriter &writer) const override;
+    void deserializeState(BinaryReader &reader) override;
 
   private:
     Rng rng_;

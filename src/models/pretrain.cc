@@ -27,6 +27,7 @@ pretrain(TlpNet &net, const data::LabeledSet &set,
     nn::AdamOptions adam_options;
     adam_options.lr = options.lr;
     nn::Adam adam(params, adam_options);
+    TrainSupervisor supervisor(params, adam, options.supervisor);
 
     std::vector<int> order(static_cast<size_t>(set.rows));
     for (int r = 0; r < set.rows; ++r)
@@ -37,7 +38,8 @@ pretrain(TlpNet &net, const data::LabeledSet &set,
     const float nan = std::numeric_limits<float>::quiet_NaN();
 
     double epoch_loss = 0.0;
-    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int epoch = 0; epoch < options.epochs && !supervisor.stopped();
+         ++epoch) {
         rng.shuffle(order);
         double total = 0.0;
         int64_t batches = 0;
@@ -80,20 +82,29 @@ pretrain(TlpNet &net, const data::LabeledSet &set,
 
             Tensor x = Tensor::fromData({b, set.feature_dim},
                                         std::move(input));
-            Tensor h = net.backbone(x, pretext == Pretext::Gpt);
-            Tensor pred = recon.forward(h);   // [B, L, E]
-            pred = nn::reshape(pred, {b * l * e});
-            Tensor loss = nn::mseLoss(pred, targets);
-            adam.zeroGrad();
-            loss.backward();
-            adam.step();
-            total += loss.value()[0];
-            ++batches;
+            double batch_loss = 0.0;
+            const StepOutcome outcome = supervisor.step([&] {
+                adam.zeroGrad();
+                Tensor h = net.backbone(x, pretext == Pretext::Gpt);
+                Tensor pred = recon.forward(h);   // [B, L, E]
+                pred = nn::reshape(pred, {b * l * e});
+                Tensor loss = nn::mseLoss(pred, targets);
+                loss.backward();
+                batch_loss = loss.value()[0];
+                return batch_loss;
+            });
+            if (outcome == StepOutcome::Stop)
+                break;
+            if (outcome == StepOutcome::Ok) {
+                total += batch_loss;
+                ++batches;
+            }
         }
         epoch_loss = batches > 0 ? total / static_cast<double>(batches)
                                  : 0.0;
         if (options.verbose)
             inform("pretrain epoch ", epoch, " loss ", epoch_loss);
+        supervisor.endEpoch(epoch);
     }
     return epoch_loss;
 }

@@ -26,6 +26,8 @@ struct PretrainOptions
     double mask_prob = 0.15;   ///< BERT row-masking probability
     uint64_t seed = 0x9e7;
     bool verbose = false;
+    /** Training-run supervision (disabled by default). */
+    SupervisorOptions supervisor;
 };
 
 /** GPT-style causal pretraining of @p net's backbone. @return loss. */

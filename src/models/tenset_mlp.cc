@@ -50,6 +50,7 @@ trainMlp(TensetMlpNet &net, const data::LabeledSet &set,
     adam_options.lr = options.lr;
     adam_options.weight_decay = options.weight_decay;
     nn::Adam adam(net.parameters(), adam_options);
+    TrainSupervisor supervisor(net.parameters(), adam, options.supervisor);
 
     // Group-aware batches (rank loss needs in-group pairs).
     std::map<int, std::vector<int>> by_group;
@@ -57,7 +58,8 @@ trainMlp(TensetMlpNet &net, const data::LabeledSet &set,
         by_group[set.groups[static_cast<size_t>(r)]].push_back(r);
 
     double epoch_loss = 0.0;
-    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int epoch = 0; epoch < options.epochs && !supervisor.stopped();
+         ++epoch) {
         std::vector<std::vector<int>> batches;
         for (auto &[group, rows] : by_group) {
             rng.shuffle(rows);
@@ -96,20 +98,29 @@ trainMlp(TensetMlpNet &net, const data::LabeledSet &set,
             Tensor x = Tensor::fromData(
                 {static_cast<int>(rows.size()), set.feature_dim},
                 std::move(data));
-            Tensor pred = net.forward(x);
-            Tensor loss = options.use_rank_loss
-                              ? nn::rankLoss(pred, targets, groups)
-                              : nn::mseLoss(pred, targets);
-            adam.zeroGrad();
-            loss.backward();
-            adam.step();
-            total += loss.value()[0];
-            ++count;
+            double batch_loss = 0.0;
+            const StepOutcome outcome = supervisor.step([&] {
+                adam.zeroGrad();
+                Tensor pred = net.forward(x);
+                Tensor loss = options.use_rank_loss
+                                  ? nn::rankLoss(pred, targets, groups)
+                                  : nn::mseLoss(pred, targets);
+                loss.backward();
+                batch_loss = loss.value()[0];
+                return batch_loss;
+            });
+            if (outcome == StepOutcome::Stop)
+                break;
+            if (outcome == StepOutcome::Ok) {
+                total += batch_loss;
+                ++count;
+            }
         }
         epoch_loss = count > 0 ? total / static_cast<double>(count) : 0.0;
         if (options.verbose)
             inform("mlp epoch ", epoch, " loss ", epoch_loss);
         adam.setLr(adam.lr() * options.lr_decay);
+        supervisor.endEpoch(epoch);
     }
     return epoch_loss;
 }

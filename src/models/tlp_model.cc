@@ -181,46 +181,69 @@ trainTlpNet(TlpNet &net, const data::LabeledSet &set,
     adam_options.lr = options.lr;
     adam_options.weight_decay = options.weight_decay;
     nn::Adam adam(net.parameters(), adam_options);
+    TrainSupervisor supervisor(net.parameters(), adam, options.supervisor);
 
     double epoch_loss = 0.0;
-    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int epoch = 0; epoch < options.epochs && !supervisor.stopped();
+         ++epoch) {
         const auto batches = makeBatches(set, options.batch_size, rng);
         double total = 0.0;
         int64_t count = 0;
         for (const auto &rows : batches) {
-            Tensor x = gatherFeatures(set, rows);
-            Tensor loss;
+            // Per-task targets/groups up front, so empty batches are
+            // skipped before the supervisor sees a step attempt.
+            std::vector<int> active_tasks;
+            std::vector<std::vector<float>> task_targets(
+                static_cast<size_t>(set.num_tasks));
+            std::vector<int> groups;
+            groups.reserve(rows.size());
+            for (int r : rows)
+                groups.push_back(set.groups[static_cast<size_t>(r)]);
             for (int task = 0; task < set.num_tasks; ++task) {
-                std::vector<float> targets;
-                std::vector<int> groups;
+                auto &targets = task_targets[static_cast<size_t>(task)];
                 targets.reserve(rows.size());
                 for (int r : rows) {
                     targets.push_back(
                         set.labels[static_cast<size_t>(r) *
                                        static_cast<size_t>(set.num_tasks) +
                                    static_cast<size_t>(task)]);
-                    groups.push_back(set.groups[static_cast<size_t>(r)]);
                 }
                 bool any_label = false;
                 for (float t : targets)
                     any_label |= !std::isnan(t);
-                if (!any_label)
-                    continue;   // this head sees nothing in this batch
-                Tensor pred = net.forwardTask(x, task);
-                Tensor task_loss =
-                    options.use_rank_loss
-                        ? nn::rankLoss(pred, targets, groups)
-                        : nn::mseLoss(pred, targets);
-                loss = loss.defined() ? nn::add(loss, task_loss)
-                                      : task_loss;
+                if (any_label)
+                    active_tasks.push_back(task);
+                // else: this head sees nothing in this batch
             }
-            if (!loss.defined())
+            if (active_tasks.empty())
                 continue;
-            adam.zeroGrad();
-            loss.backward();
-            adam.step();
-            total += loss.value()[0];
-            ++count;
+
+            Tensor x = gatherFeatures(set, rows);
+            double batch_loss = 0.0;
+            const StepOutcome outcome = supervisor.step([&] {
+                adam.zeroGrad();
+                Tensor loss;
+                for (int task : active_tasks) {
+                    Tensor pred = net.forwardTask(x, task);
+                    const auto &targets =
+                        task_targets[static_cast<size_t>(task)];
+                    Tensor task_loss =
+                        options.use_rank_loss
+                            ? nn::rankLoss(pred, targets, groups)
+                            : nn::mseLoss(pred, targets);
+                    loss = loss.defined() ? nn::add(loss, task_loss)
+                                          : task_loss;
+                }
+                loss.backward();
+                batch_loss = loss.value()[0];
+                return batch_loss;
+            });
+            if (outcome == StepOutcome::Stop)
+                break;
+            if (outcome == StepOutcome::Ok) {
+                total += batch_loss;
+                ++count;
+            }
         }
         epoch_loss = count > 0 ? total / static_cast<double>(count) : 0.0;
         if (options.verbose) {
@@ -228,6 +251,7 @@ trainTlpNet(TlpNet &net, const data::LabeledSet &set,
                    adam.lr());
         }
         adam.setLr(adam.lr() * options.lr_decay);
+        supervisor.endEpoch(epoch);
     }
     return epoch_loss;
 }

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "dataset/splits.h"
+#include "models/supervisor.h"
 #include "nn/losses.h"
 #include "nn/modules.h"
 #include "nn/optim.h"
@@ -80,6 +81,10 @@ struct TrainOptions
     double weight_decay = 1e-6;
     uint64_t seed = 0x7ea1;
     bool verbose = false;
+    /** Training-run supervision (disabled by default: with
+     *  supervisor.enabled == false the loop is byte-for-byte the
+     *  unsupervised one). */
+    SupervisorOptions supervisor;
 };
 
 /**

@@ -60,6 +60,52 @@ Adam::step()
 }
 
 void
+Adam::serializeState(BinaryWriter &writer) const
+{
+    writer.writePod<int64_t>(t_);
+    writer.writePod<double>(options_.lr);
+    writer.writePod<uint32_t>(static_cast<uint32_t>(params_.size()));
+    for (size_t p = 0; p < params_.size(); ++p) {
+        writer.writeVector(m_[p]);
+        writer.writeVector(v_[p]);
+    }
+}
+
+void
+Adam::deserializeState(BinaryReader &reader)
+{
+    const auto t = reader.readPod<int64_t>();
+    const auto lr = reader.readPod<double>();
+    const auto count = reader.readPod<uint32_t>();
+    if (count != params_.size()) {
+        throw SerializeError(ErrorCode::Invalid,
+                             "optimizer state holds " +
+                                 std::to_string(count) +
+                                 " parameters, this Adam has " +
+                                 std::to_string(params_.size()));
+    }
+    std::vector<std::vector<float>> m, v;
+    m.reserve(count);
+    v.reserve(count);
+    for (uint32_t p = 0; p < count; ++p) {
+        m.push_back(reader.readVector<float>());
+        v.push_back(reader.readVector<float>());
+        if (m.back().size() != m_[p].size() ||
+            v.back().size() != v_[p].size()) {
+            throw SerializeError(ErrorCode::Invalid,
+                                 "optimizer moment size mismatch at "
+                                 "parameter " +
+                                     std::to_string(p));
+        }
+    }
+    // All validated: commit.
+    t_ = t;
+    options_.lr = lr;
+    m_ = std::move(m);
+    v_ = std::move(v);
+}
+
+void
 Adam::zeroGrad()
 {
     for (Tensor &param : params_) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "nn/tensor.h"
+#include "support/serialize.h"
 
 namespace tlp::nn {
 
@@ -34,6 +35,19 @@ class Adam
     /** Adjust the learning rate (for simple schedules). */
     void setLr(double lr) { options_.lr = lr; }
     double lr() const { return options_.lr; }
+
+    /** Steps taken so far (bias-correction time). */
+    int64_t stepCount() const { return t_; }
+
+    /**
+     * Persist / restore the optimizer state (moments, step count, lr) —
+     * the TrainSupervisor's rollback snapshots and the training
+     * checkpoints need the optimizer trajectory, not just the weights.
+     * The parameter list itself is not serialized; the restoring Adam
+     * must hold tensors of identical sizes, in the same order.
+     */
+    void serializeState(BinaryWriter &writer) const;
+    void deserializeState(BinaryReader &reader);
 
   private:
     std::vector<Tensor> params_;

@@ -52,7 +52,7 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "[tlp:fatal] %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    std::exit(kExitUserError);
 }
 
 void

@@ -4,10 +4,15 @@
  *
  * Severity model follows the gem5 convention:
  *   - fatal():  the run cannot continue because of a user error
- *               (bad arguments, missing file); exits with status 1.
+ *               (bad arguments, missing file); exits with status 2.
  *   - panic():  an internal invariant was violated (a library bug);
  *               aborts so a debugger or core dump can catch it.
  *   - warn()/inform(): non-fatal status messages.
+ *
+ * CLI tools additionally exit with status 3 (kExitCorruptArtifact) when
+ * a recoverable loader reports a corrupt / truncated / version-skewed
+ * artifact — scripts can tell "you called it wrong" (2) apart from
+ * "your file is damaged" (3).
  */
 #pragma once
 
@@ -15,6 +20,12 @@
 #include <string>
 
 namespace tlp {
+
+/** Process exit code of TLP_FATAL (user error). */
+inline constexpr int kExitUserError = 2;
+
+/** Process exit code CLI tools use for damaged/version-skewed artifacts. */
+inline constexpr int kExitCorruptArtifact = 3;
 
 /** Log severity levels in increasing order of importance. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
@@ -30,7 +41,7 @@ namespace detail {
 /** Emit one formatted log line to stderr if @p level passes the filter. */
 void logLine(LogLevel level, const std::string &msg);
 
-/** Print @p msg and exit(1). Used for user errors. */
+/** Print @p msg and exit(kExitUserError). Used for user errors. */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 
 /** Print @p msg and abort(). Used for internal invariant violations. */
@@ -74,7 +85,7 @@ debugLog(Args &&...args)
 
 } // namespace tlp
 
-/** User-error termination: print message with location and exit(1). */
+/** User-error termination: print message with location and exit(2). */
 #define TLP_FATAL(...) \
     ::tlp::detail::fatalImpl(__FILE__, __LINE__, \
                              ::tlp::detail::concat(__VA_ARGS__))

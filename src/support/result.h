@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -130,5 +131,22 @@ class Result
     Status status_;
     std::optional<T> value_;
 };
+
+/**
+ * CLI-boundary termination for damaged artifacts: print the context and
+ * the Status, then exit(kExitCorruptArtifact) — distinct from the
+ * TLP_FATAL user-error code (2) so scripts can tell "called it wrong"
+ * apart from "your file is damaged". Library code must keep returning
+ * the Status instead.
+ */
+template <typename... Args>
+[[noreturn]] void
+artifactFatal(const Status &status, Args &&...context)
+{
+    detail::logLine(LogLevel::Error,
+                    detail::concat(std::forward<Args>(context)...) + ": " +
+                        status.toString());
+    std::exit(kExitCorruptArtifact);
+}
 
 } // namespace tlp

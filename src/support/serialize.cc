@@ -1,7 +1,14 @@
 #include "support/serialize.h"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace tlp {
 
@@ -180,7 +187,20 @@ Status
 atomicWriteFile(const std::string &path,
                 const std::function<void(std::ostream &)> &body)
 {
-    const std::string tmp_path = path + ".tmp";
+    // The temp name is unique per process (pid) AND per call (atomic
+    // counter), so two concurrent writers of the same destination —
+    // e.g. two bench processes racing on one memo — can never stream
+    // into each other's half-written temp file; the rename then makes
+    // the destination atomically equal to exactly one full payload.
+    static std::atomic<uint64_t> sequence{0};
+#ifdef _WIN32
+    const long pid = static_cast<long>(_getpid());
+#else
+    const long pid = static_cast<long>(getpid());
+#endif
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(pid) + "." +
+        std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
         if (!os) {

@@ -18,8 +18,10 @@
  *    process; library-boundary loaders catch it and return Status /
  *    Result<T> (support/result.h).
  *  - Artifact files are written atomically (atomicWriteFile): stream
- *    into "<path>.tmp", verify good(), rename — a crash or full disk
- *    mid-write never leaves a half-written artifact at the final path.
+ *    into "<path>.tmp.<pid>.<seq>", verify good(), rename — a crash or
+ *    full disk mid-write never leaves a half-written artifact at the
+ *    final path, and concurrent writers cannot clobber each other's
+ *    temp files.
  */
 #pragma once
 
@@ -270,9 +272,13 @@ guardedParse(Fn &&body)
 }
 
 /**
- * Write @p path atomically: stream into "<path>.tmp" via @p body, check
- * good(), then rename over the final path. On any failure the temp file
- * is removed and the previous contents of @p path are left untouched.
+ * Write @p path atomically: stream into "<path>.tmp.<pid>.<seq>" via
+ * @p body, check good(), then rename over the final path. On any
+ * failure the temp file is removed and the previous contents of @p path
+ * are left untouched. The pid + per-call sequence in the temp name make
+ * concurrent writes of the same destination (across processes or
+ * threads) safe: the final file is always exactly one writer's full
+ * payload, never an interleaving.
  */
 Status atomicWriteFile(const std::string &path,
                        const std::function<void(std::ostream &)> &body);

@@ -16,9 +16,13 @@ namespace tlp::tune {
 namespace {
 
 constexpr uint32_t kSessionMagic = 0x544c5053;   // "TLPS"
-// v2 wraps the whole state in one CRC32-checksummed section; v1 (flat
-// stream) checkpoints get a clean versioned error, not a parse crash.
-constexpr uint32_t kSessionVersion = 2;
+// v3 appends the cost model's identity and state blob so degraded-mode
+// search (GuardedCostModel fallback position, rng cursors) resumes
+// faithfully; v2 checkpoints still load with both fields empty. v1
+// (flat stream) checkpoints get a clean versioned error, not a parse
+// crash.
+constexpr uint32_t kSessionVersion = 3;
+constexpr uint32_t kMinSessionVersion = 2;
 constexpr uint32_t kStateTag = sectionTag("STAT");
 
 double
@@ -55,6 +59,10 @@ struct SessionState
     Rng rng{0};
     TuneResult result;
     std::vector<RoundHistory> history;
+    /** v3: name of the cost model the checkpoint was taken with. */
+    std::string model_name;
+    /** v3: opaque cost-model state (applied after history replay). */
+    std::string model_state;
 };
 
 uint64_t
@@ -112,7 +120,8 @@ void
 saveCheckpoint(const std::string &path, uint64_t digest,
                const SessionState &session,
                const std::vector<TaskState> &tasks,
-               const hw::Measurer &measurer)
+               const hw::Measurer &measurer,
+               const model::CostModel &cost_model)
 {
     // Atomic write (tmp + rename) so a crash or full disk mid-write
     // never clobbers the previous good checkpoint; a failed write only
@@ -152,6 +161,16 @@ saveCheckpoint(const std::string &path, uint64_t digest,
                     w.writePod(round.latency_ms[i]);
                 }
             }
+
+            // v3: cost-model identity + state blob. The blob carries
+            // what history replay cannot rebuild (fallback position,
+            // health counters, rng cursors); plain models write an
+            // empty blob.
+            w.writeString(cost_model.name());
+            std::ostringstream model_buffer(std::ios::binary);
+            BinaryWriter model_writer(model_buffer);
+            cost_model.serializeState(model_writer);
+            w.writeString(model_buffer.str());
         });
     });
     if (!status.ok()) {
@@ -173,8 +192,8 @@ readCheckpoint(std::istream &is, const uint64_t *expect_digest,
     SessionState session;
     const Status status = guardedParse([&] {
         BinaryReader reader(is);
-        readHeader(reader, kSessionMagic, kSessionVersion,
-                   kSessionVersion);
+        const uint32_t version = readHeader(
+            reader, kSessionMagic, kMinSessionVersion, kSessionVersion);
         Section section = readSection(reader);
         if (section.tag != kStateTag) {
             throw SerializeError(ErrorCode::Corrupt,
@@ -262,6 +281,10 @@ readCheckpoint(std::istream &is, const uint64_t *expect_digest,
                 round.latency_ms.push_back(body.readPod<double>());
             }
             session.history.push_back(std::move(round));
+        }
+        if (version >= 3) {
+            session.model_name = body.readString();
+            session.model_state = body.readString();
         }
         if (body.remaining() != 0) {
             throw SerializeError(ErrorCode::Corrupt,
@@ -361,6 +384,32 @@ tuneWorkload(const ir::Workload &workload,
             for (const auto &state : states)
                 state_ptrs.push_back(&state);
             cost_model.update(round.task_id, state_ptrs, round.latency_ms);
+        }
+        // The v3 model-state blob is applied AFTER replay: replay warms
+        // the online models, then the blob overwrites the state replay
+        // cannot reconstruct — scoring-time failovers, health counters,
+        // rng cursors (v2 checkpoints carry no blob and skip both).
+        if (!session.model_name.empty() &&
+            session.model_name != cost_model.name()) {
+            TLP_FATAL("checkpoint ", options.checkpoint_path,
+                      " was taken with cost model '", session.model_name,
+                      "', this session uses '", cost_model.name(),
+                      "'; delete the file or drop --resume to start "
+                      "fresh");
+        }
+        if (!session.model_state.empty()) {
+            std::istringstream buffer(session.model_state,
+                                      std::ios::binary);
+            BinaryReader blob(buffer);
+            const Status blob_status = guardedParse(
+                [&] { cost_model.deserializeState(blob); });
+            if (!blob_status.ok()) {
+                TLP_FATAL("cannot restore cost-model state from ",
+                          options.checkpoint_path, ": ",
+                          blob_status.toString(),
+                          "; delete the file or drop --resume to start "
+                          "fresh");
+            }
         }
         if (options.verbose) {
             inform("resumed session from ", options.checkpoint_path,
@@ -475,11 +524,12 @@ tuneWorkload(const ir::Workload &workload,
             (session.rounds_done % options.checkpoint_every == 0 ||
              round + 1 == options.rounds)) {
             saveCheckpoint(options.checkpoint_path, digest, session,
-                           tasks, measurer);
+                           tasks, measurer, cost_model);
         }
     }
 
     result.best_workload_latency_ms = workloadLatency();
+    result.cost_model_name = cost_model.name();
     result.measure_seconds = measurer.elapsedSeconds();
     result.total_search_seconds =
         result.measure_seconds + result.model_seconds;

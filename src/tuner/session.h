@@ -68,6 +68,10 @@ struct CurvePoint
 /** Session outcome. */
 struct TuneResult
 {
+    /** Identity of the cost model that drove the search (for a
+     *  GuardedCostModel this is the whole ladder, e.g.
+     *  "guarded:tlp>ansor-online>random"). */
+    std::string cost_model_name;
     std::vector<CurvePoint> curve;
     double best_workload_latency_ms = 0.0;
     std::vector<double> best_per_task_ms;

@@ -1,0 +1,55 @@
+# CLI exit-code smoke test, run via `cmake -P` (see tests/CMakeLists.txt).
+#
+# The contract (DESIGN.md "Training & search robustness", src/support/
+# logging.h): user errors exit 2 (TLP_FATAL), damaged artifacts exit 3
+# (artifactFatal), so scripts can tell "you called it wrong" apart from
+# "your file is damaged". This drives the real installed binaries the way
+# a shell script would — the in-process death tests cannot see argv
+# parsing or main()'s artifact probing.
+
+if(NOT DEFINED TUNE_WORKLOAD OR NOT DEFINED DATASET_BUILDER
+   OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR
+            "usage: cmake -DTUNE_WORKLOAD=... -DDATASET_BUILDER=... "
+            "-DWORK_DIR=... -P cli_smoke.cmake")
+endif()
+
+# --- user error (bad argument) must exit 2, before any heavy work -------
+
+execute_process(
+    COMMAND "${TUNE_WORKLOAD}" --threads -1
+    RESULT_VARIABLE user_error_code
+    OUTPUT_QUIET ERROR_VARIABLE user_error_output)
+if(NOT user_error_code EQUAL 2)
+    message(FATAL_ERROR
+            "tune_workload --threads -1: expected exit 2 (user error), "
+            "got '${user_error_code}'. stderr: ${user_error_output}")
+endif()
+if(NOT user_error_output MATCHES "--threads")
+    message(FATAL_ERROR
+            "tune_workload --threads -1: fatal message does not name the "
+            "offending flag. stderr: ${user_error_output}")
+endif()
+
+# --- corrupt artifact must exit 3, with a Status-shaped message ---------
+
+set(garbage "${WORK_DIR}/cli_smoke_garbage.bin")
+file(WRITE "${garbage}" "this is not a TLP artifact, just prose\n")
+
+execute_process(
+    COMMAND "${DATASET_BUILDER}" --load "${garbage}"
+    RESULT_VARIABLE corrupt_code
+    OUTPUT_QUIET ERROR_VARIABLE corrupt_output)
+file(REMOVE "${garbage}")
+if(NOT corrupt_code EQUAL 3)
+    message(FATAL_ERROR
+            "dataset_builder --load <garbage>: expected exit 3 (corrupt "
+            "artifact), got '${corrupt_code}'. stderr: ${corrupt_output}")
+endif()
+if(NOT corrupt_output MATCHES "cannot load dataset")
+    message(FATAL_ERROR
+            "dataset_builder --load <garbage>: message does not explain "
+            "the failure. stderr: ${corrupt_output}")
+endif()
+
+message(STATUS "cli exit-code contract holds: user error=2, corrupt=3")

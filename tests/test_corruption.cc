@@ -24,6 +24,7 @@
 #include "ir/partition.h"
 #include "models/cost_model.h"
 #include "models/snapshot.h"
+#include "models/supervisor.h"
 #include "support/rng.h"
 #include "tuner/session.h"
 
@@ -109,6 +110,32 @@ goldenMemoBytes()
     std::ostringstream os;
     bench::writeBenchMemo(os, kMemoFingerprint, goldenDataset());
     return os.str();
+}
+
+std::string
+goldenTrainCheckpointBytes()
+{
+    static const std::string bytes = [] {
+        Rng rng(13);
+        nn::Tensor w = nn::Tensor::randn({8}, rng, 1.0);
+        nn::Adam adam({w}, {.lr = 0.01});
+        model::SupervisorOptions options;
+        options.enabled = true;
+        model::TrainSupervisor supervisor({w}, adam, options);
+        for (int i = 0; i < 3; ++i) {
+            supervisor.step([&] {
+                adam.zeroGrad();
+                auto &grad = w.grad();
+                for (size_t j = 0; j < grad.size(); ++j)
+                    grad[j] = 0.1f * static_cast<float>(j + 1);
+                return 1.0 + 0.1 * i;
+            });
+        }
+        std::ostringstream os(std::ios::binary);
+        model::writeTrainCheckpoint(os, supervisor.makeCheckpoint(2));
+        return os.str();
+    }();
+    return bytes;
 }
 
 // --- section walking (for boundary-targeted mutations) ------------------
@@ -285,6 +312,18 @@ TEST(CorruptionFuzz, CheckpointNeverCrashes)
     EXPECT_LT(survivors, kMutationsPerFormat / 10);
 }
 
+TEST(CorruptionFuzz, TrainCheckpointNeverCrashes)
+{
+    const std::string golden = goldenTrainCheckpointBytes();
+    ASSERT_FALSE(golden.empty());
+    const int survivors =
+        fuzzFormat(golden, 8, 0x717c, [](const std::string &bytes) {
+            std::istringstream is(bytes);
+            return model::verifyTrainCheckpoint(is).ok();
+        });
+    EXPECT_LT(survivors, kMutationsPerFormat / 10);
+}
+
 TEST(CorruptionFuzz, BenchMemoNeverCrashes)
 {
     const std::string golden = goldenMemoBytes();
@@ -324,6 +363,13 @@ TEST(Corruption, GoldenArtifactsLoadCleanly)
         std::istringstream is(goldenMemoBytes());
         auto result = bench::loadBenchMemo(is, kMemoFingerprint);
         ASSERT_TRUE(result.ok()) << result.status().toString();
+    }
+    {
+        std::istringstream is(goldenTrainCheckpointBytes());
+        auto result = model::loadTrainCheckpoint(is);
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_EQ(result.value().epoch, 2);
+        EXPECT_EQ(result.value().steps_done, 3);
     }
 }
 
@@ -478,10 +524,24 @@ TEST(Corruption, SnapshotVersionSkewIsClean)
 
 TEST(Corruption, CheckpointVersionSkewIsClean)
 {
-    for (const uint32_t version : {3u, 1u}) {
+    // v2 (pre-guarded-search) checkpoints still load; v4 and v1 do not.
+    for (const uint32_t version : {4u, 1u}) {
         std::istringstream is(
             withVersion(goldenCheckpointBytes(), version));
         const Status status = tune::verifyCheckpoint(is);
+        ASSERT_FALSE(status.ok());
+        EXPECT_EQ(status.code(), ErrorCode::VersionSkew)
+            << status.toString();
+    }
+}
+
+TEST(Corruption, TrainCheckpointVersionSkewIsClean)
+{
+    for (const uint32_t version :
+         {model::kTrainCheckpointVersion + 1, 0u}) {
+        std::istringstream is(
+            withVersion(goldenTrainCheckpointBytes(), version));
+        const Status status = model::verifyTrainCheckpoint(is);
         ASSERT_FALSE(status.ok());
         EXPECT_EQ(status.code(), ErrorCode::VersionSkew)
             << status.toString();

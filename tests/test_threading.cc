@@ -103,7 +103,8 @@ TEST(ThreadPoolDeathTest, NestedSubmitIsFatal)
                 pool.parallelFor(0, 1, 1, [](int64_t, int64_t) {});
             });
         },
-        ::testing::ExitedWithCode(1), "nested ThreadPool::parallelFor");
+        ::testing::ExitedWithCode(kExitUserError),
+        "nested ThreadPool::parallelFor");
 }
 
 /**

@@ -296,7 +296,8 @@ TEST(Session, ResumeRejectsForeignCheckpoint)
     EXPECT_EXIT(tuneWorkload(workload,
                              hw::HardwarePlatform::preset("e5-2673"),
                              other_model, mismatched),
-                ::testing::ExitedWithCode(1), "different session");
+                ::testing::ExitedWithCode(kExitUserError),
+                "different session");
     std::remove(ckpt.c_str());
 }
 
