@@ -194,6 +194,7 @@ capTrainRecords(std::vector<int> records, int64_t base_cap, uint64_t seed)
         return records;
     Rng rng(seed);
     rng.shuffle(records);
+    // tlp-lint: allow(unbounded-alloc) -- cap derives from TLP_BENCH_SCALE, not from stream bytes; this only ever shrinks
     records.resize(static_cast<size_t>(cap));
     return records;
 }

@@ -82,6 +82,7 @@ main()
                      "rollbacks", "skipped"});
     for (const double rate : fault_rates) {
         for (const Policy &policy : policies) {
+            // tlp-lint: allow(float-eq) -- rate is copied verbatim from the literal sweep list; exact 0.0 means injection disabled
             if (rate == 0.0 && policy.policy ==
                                    model::RecoveryPolicy::AbortOnFault)
                 continue;   // no faults: both policies are the clean run

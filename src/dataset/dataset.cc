@@ -188,6 +188,7 @@ Dataset::platformIndex(const std::string &platform) const
     for (size_t i = 0; i < platforms.size(); ++i)
         if (platforms[i] == platform)
             return static_cast<int>(i);
+    // tlp-lint: allow(loader-fatal) -- user-error lookup (bad --platform), not a parse path; the loaders are tryLoad/trySave
     TLP_FATAL("platform not in dataset: ", platform);
 }
 
@@ -235,6 +236,7 @@ Dataset::save(const std::string &path) const
 {
     const Status status = trySave(path);
     if (!status.ok())
+        // tlp-lint: allow(loader-fatal) -- documented fatal convenience wrapper over trySave for CLI/bench callers
         TLP_FATAL("cannot save dataset ", path, ": ", status.toString());
 }
 
@@ -302,6 +304,7 @@ Dataset::load(const std::string &path)
 {
     auto result = tryLoad(path);
     if (!result.ok()) {
+        // tlp-lint: allow(loader-fatal) -- documented fatal convenience wrapper over tryLoad for CLI/bench callers
         TLP_FATAL("cannot load dataset ", path, ": ",
                   result.status().toString());
     }
@@ -313,6 +316,7 @@ Dataset::load(std::istream &is)
 {
     auto result = tryLoad(is);
     if (!result.ok())
+        // tlp-lint: allow(loader-fatal) -- documented fatal convenience wrapper over tryLoad for CLI/bench callers
         TLP_FATAL("cannot load dataset: ", result.status().toString());
     return result.take();
 }

@@ -23,6 +23,7 @@ double
 monotonicSeconds()
 {
     return std::chrono::duration<double>(
+               // tlp-lint: allow(wallclock) -- intentional TrainSupervisor wall-clock budget; never feeds model math (DESIGN.md s10)
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
 }
@@ -401,6 +402,7 @@ TrainSupervisor::step(const std::function<double()> &attempt)
         adam_.setLr(schedule_lr *
                     std::pow(options_.lr_backoff, att + 1) * jitter);
     }
+    // tlp-lint: allow(loader-fatal) -- internal invariant in training logic, unreachable from artifact bytes; checkpoint parsing is guardedParse
     TLP_PANIC("unreachable: supervisor retry loop fell through");
 }
 

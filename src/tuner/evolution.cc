@@ -12,6 +12,7 @@ double
 now()
 {
     return std::chrono::duration<double>(
+               // tlp-lint: allow(wallclock) -- reported search-time stats only; candidate ranking stays seeded
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
 }

@@ -29,6 +29,7 @@ double
 now()
 {
     return std::chrono::duration<double>(
+               // tlp-lint: allow(wallclock) -- session wall-time budget and round timestamps; search decisions stay seeded
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
 }
@@ -363,6 +364,7 @@ tuneWorkload(const ir::Workload &workload,
         Result<SessionState> loaded = readCheckpointFile(
             options.checkpoint_path, &digest, &tasks, &measurer);
         if (!loaded.ok()) {
+            // tlp-lint: allow(loader-fatal) -- CLI boundary: --resume failure is terminal by design; readCheckpointFile is the Result-returning loader
             TLP_FATAL("cannot resume from checkpoint ",
                       options.checkpoint_path, ": ",
                       loaded.status().toString(),
@@ -391,6 +393,7 @@ tuneWorkload(const ir::Workload &workload,
         // rng cursors (v2 checkpoints carry no blob and skip both).
         if (!session.model_name.empty() &&
             session.model_name != cost_model.name()) {
+            // tlp-lint: allow(loader-fatal) -- CLI boundary: model-name mismatch on --resume is a user error, not a parse failure
             TLP_FATAL("checkpoint ", options.checkpoint_path,
                       " was taken with cost model '", session.model_name,
                       "', this session uses '", cost_model.name(),
@@ -404,6 +407,7 @@ tuneWorkload(const ir::Workload &workload,
             const Status blob_status = guardedParse(
                 [&] { cost_model.deserializeState(blob); });
             if (!blob_status.ok()) {
+                // tlp-lint: allow(loader-fatal) -- CLI boundary: state-blob restore failure on --resume is terminal by design; parsing itself is guardedParse
                 TLP_FATAL("cannot restore cost-model state from ",
                           options.checkpoint_path, ": ",
                           blob_status.toString(),

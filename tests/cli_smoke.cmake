@@ -8,9 +8,11 @@
 # parsing or main()'s artifact probing.
 
 if(NOT DEFINED TUNE_WORKLOAD OR NOT DEFINED DATASET_BUILDER
+   OR NOT DEFINED TLP_LINT OR NOT DEFINED LINT_FIXTURE_DIR
    OR NOT DEFINED WORK_DIR)
     message(FATAL_ERROR
             "usage: cmake -DTUNE_WORKLOAD=... -DDATASET_BUILDER=... "
+            "-DTLP_LINT=... -DLINT_FIXTURE_DIR=... "
             "-DWORK_DIR=... -P cli_smoke.cmake")
 endif()
 
@@ -52,4 +54,49 @@ if(NOT corrupt_output MATCHES "cannot load dataset")
             "the failure. stderr: ${corrupt_output}")
 endif()
 
-message(STATUS "cli exit-code contract holds: user error=2, corrupt=3")
+# --- tlp_lint exit codes: 0 = clean tree, 1 = findings, 2 = bad config -
+
+execute_process(
+    COMMAND "${TLP_LINT}"
+        --manifest "${LINT_FIXTURE_DIR}/clean/manifest.txt"
+        --root "${LINT_FIXTURE_DIR}/clean" .
+    RESULT_VARIABLE lint_clean_code
+    OUTPUT_QUIET ERROR_VARIABLE lint_clean_output)
+if(NOT lint_clean_code EQUAL 0)
+    message(FATAL_ERROR
+            "tlp_lint on the clean fixture dir: expected exit 0, got "
+            "'${lint_clean_code}'. stderr: ${lint_clean_output}")
+endif()
+
+execute_process(
+    COMMAND "${TLP_LINT}"
+        --manifest "${LINT_FIXTURE_DIR}/dirty/manifest.txt"
+        --root "${LINT_FIXTURE_DIR}/dirty" .
+    RESULT_VARIABLE lint_dirty_code
+    OUTPUT_QUIET ERROR_VARIABLE lint_dirty_output)
+if(NOT lint_dirty_code EQUAL 1)
+    message(FATAL_ERROR
+            "tlp_lint on the dirty fixture dir: expected exit 1 "
+            "(findings), got '${lint_dirty_code}'. stderr: "
+            "${lint_dirty_output}")
+endif()
+if(NOT lint_dirty_output MATCHES "include-forbidden")
+    message(FATAL_ERROR
+            "tlp_lint dirty output does not name the Fig. 10 "
+            "include-forbidden finding. stderr: ${lint_dirty_output}")
+endif()
+
+execute_process(
+    COMMAND "${TLP_LINT}"
+        --manifest "${LINT_FIXTURE_DIR}/badmanifest/manifest.txt"
+        --root "${LINT_FIXTURE_DIR}/badmanifest" .
+    RESULT_VARIABLE lint_bad_code
+    OUTPUT_QUIET ERROR_VARIABLE lint_bad_output)
+if(NOT lint_bad_code EQUAL 2)
+    message(FATAL_ERROR
+            "tlp_lint with a broken manifest: expected exit 2 (config "
+            "error), got '${lint_bad_code}'. stderr: ${lint_bad_output}")
+endif()
+
+message(STATUS "cli exit-code contract holds: user error=2, corrupt=3, "
+               "lint clean=0 / findings=1 / bad manifest=2")

@@ -1,0 +1,6 @@
+// The Ansor extractor is lowering-based by contract (paper Fig. 10):
+// this include is both allowed and REQUIRED by the manifest.
+#include "schedule/lower.h"
+#include "support/rng.h"
+
+int ansorFeatureCount() { return 164; }

@@ -1,0 +1,6 @@
+// The TLP extractor reads only the primitive sequence; including
+// schedule/primitive.h is fine, schedule/lower.h would be flagged.
+#include "schedule/primitive.h"
+#include "support/rng.h"
+
+int tlpFeatureWidth() { return 22; }

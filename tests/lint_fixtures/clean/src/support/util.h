@@ -1,0 +1,14 @@
+#pragma once
+
+// A well-formed header: #pragma once, members carry the trailing
+// underscore, no banned tokens.
+class Accumulator
+{
+  public:
+    void add(double value);
+    double total() const { return total_; }
+
+  private:
+    double total_ = 0.0;
+    long count_ = 0;
+};

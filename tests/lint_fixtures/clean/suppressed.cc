@@ -1,0 +1,40 @@
+// Every violation below carries an audited suppression, so this file
+// must lint clean — and every suppression matches a real finding, so
+// none of them trips unused-suppression. Deleting any one comment must
+// make the lint job fail (the cli_smoke harness relies on that).
+#include <cstdlib>
+
+// tlp-lint: allow(rand) -- fixture: proves a suppressed libc rand passes
+int suppressedRand() { return rand(); }
+
+long
+suppressedClock()
+{
+    // tlp-lint: allow(wallclock) -- fixture: suppressed clock read outside the allowlist
+    return time(nullptr);
+}
+
+// The wallclock token sits on the line after its suppression comment.
+// tlp-lint: allow(wallclock) -- fixture: line-above suppression form
+long alsoSuppressed() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+
+bool
+suppressedFloatEq(double x)
+{
+    return x != 0.25; // tlp-lint: allow(float-eq) -- fixture: trailing same-line suppression form
+}
+
+void
+suppressedLoaderFatal(bool bad)
+{
+    // tlp-lint: allow(loader-fatal) -- fixture: suppressed abort inside a loader TU
+    if (bad) { TLP_FATAL("boom"); }
+}
+
+void
+suppressedAlloc(unsigned long count, int *sink)
+{
+    // tlp-lint: allow(unbounded-alloc) -- fixture: count is bounded by the caller
+    vec.resize(count);
+    (void)sink;
+}

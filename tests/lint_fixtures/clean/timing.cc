@@ -1,0 +1,12 @@
+// Allowlisted timing TU: clock reads here are legitimate and need no
+// per-line suppression (see "allow-wallclock timing.cc" in the
+// manifest).
+#include <chrono>
+
+double
+elapsedSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}

@@ -1,0 +1,14 @@
+// Known-bad determinism input: one line per determinism rule id.
+#include <cstdlib>
+#include <random>
+#include <chrono>
+
+int badRand() { return rand(); }                       // rule: rand
+std::random_device entropy;                            // rule: random-device
+std::mt19937 unseeded;                                 // rule: std-engine
+long badClock()
+{
+    return std::chrono::system_clock::now()            // rule: wallclock
+        .time_since_epoch()
+        .count();
+}

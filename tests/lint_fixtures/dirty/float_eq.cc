@@ -1,0 +1,3 @@
+// Known-bad hygiene input: exact float-literal comparison. Labels use
+// NaN for "missing", so == / != against float literals is a hazard.
+bool isUnit(double scale) { return scale == 1.0; }   // rule: float-eq

@@ -1,0 +1,8 @@
+// Known-bad artifact-safety input: this TU is declared `loader-tu` in
+// the manifest, so aborting instead of returning Status is a finding.
+void
+parseHeader(bool bad)
+{
+    if (bad)
+        TLP_FATAL("corrupt header");   // rule: loader-fatal
+}

@@ -1,0 +1,11 @@
+// Known-bad hygiene input: a header without #pragma once (rule:
+// pragma-once) whose private member also lacks the trailing underscore
+// (rule: member-underscore).
+class Leaky
+{
+  public:
+    int count() const;
+
+  private:
+    int count;   // rule: member-underscore
+};

@@ -1,0 +1,6 @@
+// Known-bad Fig. 10 input (other direction): the Ansor extractor is
+// contractually lowering-based, so NOT including schedule/lower.h is a
+// finding (rule: include-required).
+#include "schedule/primitive.h"
+
+int ansorFeatureCount() { return 164; }

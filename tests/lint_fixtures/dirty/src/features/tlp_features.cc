@@ -1,0 +1,5 @@
+// Known-bad Fig. 10 input: the TLP extractor must never see a lowered
+// nest — this include is the paper-fidelity bug the linter exists for.
+#include "schedule/lower.h"   // rule: include-forbidden
+
+int tlpFeatureWidth() { return 22; }

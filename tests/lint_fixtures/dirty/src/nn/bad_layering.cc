@@ -1,0 +1,5 @@
+// Known-bad layering input: nn is a leaf compute library and must never
+// reach up into the tuner.
+#include "tuner/evolution.h"   // rule: layering
+
+int nnHelper() { return 1; }

@@ -1,0 +1,12 @@
+// Known-bad serialize-consumer input: the resize is fed by a count read
+// straight from the stream with no remaining-bytes check anywhere in
+// the preceding lines.
+#include <cstdint>
+#include <vector>
+
+void
+parseBody(BinaryReader &reader, std::vector<float> &values)
+{
+    const auto count = reader.readPod<uint64_t>();
+    values.resize(count);   // rule: unbounded-alloc
+}

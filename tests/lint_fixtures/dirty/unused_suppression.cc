@@ -1,0 +1,9 @@
+// Known-bad suppression inputs: an audit that matches no finding
+// (rule: unused-suppression) and a malformed tlp-lint comment
+// (rule: bad-suppression).
+
+// tlp-lint: allow(rand) -- nothing on the next line actually calls rand
+int perfectlyDeterministic() { return 4; }
+
+// tlp-lint: allow wallclock, because reasons
+long alsoWrongSyntax() { return 0; }

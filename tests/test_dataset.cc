@@ -50,6 +50,7 @@ TEST(Collect, LabelsAreNormalizedToUnitInterval)
         const float label = ds.label(static_cast<int>(r), 0);
         EXPECT_GT(label, 0.0f);
         EXPECT_LE(label, 1.0f);
+        // tlp-lint: allow(float-eq) -- the best program's relative label is exactly min/min == 1.0 by construction
         at_one += label == 1.0f;
     }
     // Exactly one best program per group (up to ties).

@@ -101,6 +101,7 @@ TEST(TlpFeatures, Method2ProducesSingleTokenRows)
         int non_zero = 0;
         for (int c = 0; c < options.emb_size; ++c)
             non_zero += features[r * options.emb_size +
+                                 // tlp-lint: allow(float-eq) -- one-hot slots are written as exact 0.0f; counting them is the point of the test
                                  static_cast<size_t>(c)] != 0.0f;
         EXPECT_EQ(non_zero, 1) << "row " << r;
     }

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for tools/tlp_lint: the lexer, the manifest parser, each rule
+ * id against golden fixtures (in-memory and on-disk under
+ * tests/lint_fixtures/), the suppression contract, and the Fig. 10
+ * asymmetry the layering rules encode.
+ *
+ * The deliberate-violation snippets below live inside raw string
+ * literals, which is itself a regression test for the real-tree lint
+ * job: the lexer blanks string contents, so scanning THIS file must
+ * produce no findings.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "tools/tlp_lint/lint.h"
+
+using namespace tlp;
+using namespace tlp::lint;
+
+namespace {
+
+/** Rule ids present in a finding list. */
+std::set<std::string>
+ruleSet(const std::vector<Finding> &findings)
+{
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+/** A manifest mirroring the real tree's structure for in-memory tests. */
+Manifest
+testManifest()
+{
+    const char *text = R"(
+layer support ->
+layer schedule -> support
+layer features -> schedule support
+layer nn -> support
+layer tuner -> nn schedule support
+forbid-include src/features/tlp_features -> schedule/lower.h
+require-include src/features/ansor_features -> schedule/lower.h
+loader-tu src/loader.cc
+serialize-consumer src/consumer.cc
+allow-wallclock bench/timing.cc
+)";
+    auto result = parseManifest(text);
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.take();
+}
+
+} // namespace
+
+// --- lexer --------------------------------------------------------------
+
+TEST(LintLexer, BlanksCommentsAndStringsButKeepsLineNumbers)
+{
+    const std::string text =
+        "int a; // rand()\n"
+        "/* system_clock\n"
+        "   rand() */ int b;\n"
+        "const char *s = \"rand()\";\n";
+    const StrippedSource src = stripSource(text);
+    ASSERT_EQ(src.code.size(), 4u);
+    for (const std::string &line : src.code)
+        EXPECT_EQ(line.find("rand"), std::string::npos) << line;
+    EXPECT_NE(src.code[0].find("int a;"), std::string::npos);
+    EXPECT_NE(src.code[2].find("int b;"), std::string::npos);
+    // The directive view keeps string contents (for #include paths).
+    EXPECT_NE(src.directives[3].find("rand()"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringsAndDigitSeparators)
+{
+    const std::string text =
+        "auto s = R\"(rand() mt19937)\";\n"
+        "long big = 1'000'000; int c = 'x';\n";
+    const StrippedSource src = stripSource(text);
+    EXPECT_EQ(src.code[0].find("mt19937"), std::string::npos);
+    EXPECT_NE(src.code[1].find("1'000'000"), std::string::npos);
+}
+
+TEST(LintLexer, ParsesWellFormedSuppressions)
+{
+    const std::string text =
+        "// tlp-lint: allow(wallclock) -- budget timing is intentional\n"
+        "int x;\n";
+    const StrippedSource src = stripSource(text);
+    ASSERT_EQ(src.suppressions.size(), 1u);
+    EXPECT_EQ(src.suppressions[0].line, 1);
+    EXPECT_EQ(src.suppressions[0].rule, "wallclock");
+    EXPECT_EQ(src.suppressions[0].reason, "budget timing is intentional");
+}
+
+TEST(LintLexer, ProseMentioningTheSyntaxIsNotASuppression)
+{
+    // Only `//` comments *starting* with the marker parse; doc prose
+    // and block comments never do.
+    const std::string text =
+        "// see the tlp-lint: allow(...) syntax in DESIGN.md\n"
+        "/* tlp-lint: allow(rand) -- block comments do not count */\n";
+    const StrippedSource src = stripSource(text);
+    EXPECT_TRUE(src.suppressions.empty());
+    EXPECT_TRUE(src.bad_suppressions.empty());
+}
+
+TEST(LintLexer, MalformedSuppressionIsAFinding)
+{
+    const StrippedSource src =
+        stripSource("// tlp-lint: allow rand, because\n");
+    ASSERT_EQ(src.bad_suppressions.size(), 1u);
+    EXPECT_EQ(src.bad_suppressions[0].rule, "bad-suppression");
+}
+
+TEST(LintLexer, MissingReasonIsMalformed)
+{
+    const StrippedSource src =
+        stripSource("// tlp-lint: allow(rand)\n");
+    EXPECT_TRUE(src.suppressions.empty());
+    ASSERT_EQ(src.bad_suppressions.size(), 1u);
+}
+
+// --- manifest -----------------------------------------------------------
+
+TEST(LintManifest, ParsesDirectives)
+{
+    const Manifest m = testManifest();
+    EXPECT_EQ(m.layers.size(), 5u);
+    EXPECT_TRUE(m.layers.at("tuner").count("nn"));
+    EXPECT_TRUE(m.layers.at("support").empty());
+    ASSERT_EQ(m.forbid_includes.size(), 1u);
+    EXPECT_EQ(m.forbid_includes[0].second, "schedule/lower.h");
+    EXPECT_TRUE(m.loader_tus.count("src/loader.cc"));
+}
+
+TEST(LintManifest, UnknownDirectiveFailsWithLineNumber)
+{
+    const auto result = parseManifest("layer a ->\nfrobnicate b\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().toString().find("line 2"),
+              std::string::npos);
+}
+
+TEST(LintManifest, LayerMissingArrowFails)
+{
+    EXPECT_FALSE(parseManifest("layer broken support\n").ok());
+}
+
+TEST(LintManifest, UndeclaredLayerDependencyFails)
+{
+    EXPECT_FALSE(parseManifest("layer a -> ghost\n").ok());
+}
+
+// --- determinism rules --------------------------------------------------
+
+TEST(LintRules, DeterminismTokensFire)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+#include <random>
+int a() { return rand(); }
+std::random_device rd;
+std::mt19937 gen(rd());
+std::uniform_real_distribution<double> dist(0, 1);
+long t() { return time(nullptr); }
+)";
+    const auto rules = ruleSet(lintFile("src/support/bad.cc", text, m));
+    EXPECT_TRUE(rules.count("rand"));
+    EXPECT_TRUE(rules.count("random-device"));
+    EXPECT_TRUE(rules.count("std-engine"));
+    EXPECT_TRUE(rules.count("wallclock"));
+}
+
+TEST(LintRules, BannedTokensInStringsAndCommentsDoNotFire)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+// calling rand() here would break determinism
+const char *kMessage = "mt19937 and system_clock are banned";
+int fine() { return 7; }
+)";
+    EXPECT_TRUE(lintFile("src/support/fine.cc", text, m).empty());
+}
+
+TEST(LintRules, WallclockAllowlistHonored)
+{
+    const Manifest m = testManifest();
+    const char *text =
+        "#include <chrono>\n"
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_EQ(ruleSet(lintFile("src/support/t.cc", text, m))
+                  .count("wallclock"),
+              1u);
+    EXPECT_TRUE(lintFile("bench/timing.cc", text, m).empty());
+}
+
+TEST(LintRules, SeededRngUseIsClean)
+{
+    // The sanctioned pattern: explicit seeds, support/rng draws.
+    const Manifest m = testManifest();
+    const char *text = R"(
+#include "support/rng.h"
+double draw(tlp::Rng &rng) { return rng.uniform(); }
+tlp::Rng forked = rng.fork();
+)";
+    EXPECT_TRUE(lintFile("src/support/good.cc", text, m).empty());
+}
+
+// --- layering + Fig. 10 asymmetry ---------------------------------------
+
+TEST(LintRules, LayeringRejectsUpwardInclude)
+{
+    const Manifest m = testManifest();
+    const auto findings = lintFile("src/nn/bad.cc",
+                                   "#include \"tuner/evolution.h\"\n", m);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "layering");
+    EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintRules, LayeringAcceptsDeclaredEdge)
+{
+    const Manifest m = testManifest();
+    EXPECT_TRUE(lintFile("src/tuner/fine.cc",
+                         "#include \"nn/tensor.h\"\n"
+                         "#include \"schedule/state.h\"\n",
+                         m)
+                    .empty());
+}
+
+TEST(LintRules, UndeclaredModuleIsAFinding)
+{
+    const Manifest m = testManifest();
+    const auto rules =
+        ruleSet(lintFile("src/mystery/new.cc", "int x;\n", m));
+    EXPECT_TRUE(rules.count("layering"));
+}
+
+TEST(LintRules, Fig10AsymmetryTlpRejectedAnsorAccepted)
+{
+    // The paper's Fig. 10 claim, machine-enforced: the SAME include of
+    // the lowering header is a finding in the TLP extractor TU and
+    // clean in the Ansor extractor TU.
+    const Manifest m = testManifest();
+    const std::string include_lower =
+        "#include \"schedule/lower.h\"\n";
+    const auto tlp_findings =
+        lintFile("src/features/tlp_features.cc", include_lower, m);
+    ASSERT_EQ(tlp_findings.size(), 1u);
+    EXPECT_EQ(tlp_findings[0].rule, "include-forbidden");
+
+    EXPECT_TRUE(
+        lintFile("src/features/ansor_features.cc", include_lower, m)
+            .empty());
+}
+
+TEST(LintRules, AnsorWithoutLoweringIsAFinding)
+{
+    // ...and the other direction: the Ansor extractor MUST lower.
+    const Manifest m = testManifest();
+    const auto rules = ruleSet(lintFile(
+        "src/features/ansor_features.h",
+        "#pragma once\n#include \"schedule/primitive.h\"\n", m));
+    EXPECT_TRUE(rules.count("include-required"));
+}
+
+// --- artifact-safety rules ----------------------------------------------
+
+TEST(LintRules, LoaderFatalFlaggedOnlyInLoaderTus)
+{
+    const Manifest m = testManifest();
+    const char *text = "void f() { TLP_FATAL(\"bad artifact\"); }\n";
+    EXPECT_EQ(ruleSet(lintFile("src/loader.cc", text, m))
+                  .count("loader-fatal"),
+              1u);
+    EXPECT_TRUE(lintFile("src/support/cli.cc", text, m).empty());
+}
+
+TEST(LintRules, UnboundedAllocNeedsNearbyBoundCheck)
+{
+    const Manifest m = testManifest();
+    const char *unguarded = R"(
+void parse(BinaryReader &r, std::vector<float> &v)
+{
+    const auto count = r.readPod<uint64_t>();
+    v.resize(count);
+}
+)";
+    EXPECT_EQ(ruleSet(lintFile("src/consumer.cc", unguarded, m))
+                  .count("unbounded-alloc"),
+              1u);
+
+    const char *guarded = R"(
+void parse(BinaryReader &r, std::vector<float> &v)
+{
+    const auto count = r.readPod<uint64_t>();
+    if (count > r.remaining() / sizeof(float))
+        throw SerializeError(ErrorCode::Truncated, "bad count");
+    v.resize(count);
+}
+)";
+    EXPECT_TRUE(lintFile("src/consumer.cc", guarded, m).empty());
+
+    // Sizing from an in-memory container is not stream-controlled.
+    const char *from_size =
+        "void copy() { dst.resize(src.size()); }\n";
+    EXPECT_TRUE(lintFile("src/consumer.cc", from_size, m).empty());
+}
+
+// --- hygiene rules ------------------------------------------------------
+
+TEST(LintRules, PragmaOnceRequiredInHeaders)
+{
+    const Manifest m = testManifest();
+    const auto rules =
+        ruleSet(lintFile("src/support/naked.h", "int x;\n", m));
+    EXPECT_TRUE(rules.count("pragma-once"));
+    EXPECT_TRUE(lintFile("src/support/good.h",
+                         "#pragma once\nint x;\n", m)
+                    .empty());
+    // Sources do not need it.
+    EXPECT_TRUE(lintFile("src/support/main.cc", "int x;\n", m).empty());
+}
+
+TEST(LintRules, FloatEqFlagged)
+{
+    const Manifest m = testManifest();
+    const auto rules = ruleSet(lintFile(
+        "src/support/f.cc",
+        "bool b(double x) { return x == 1.0; }\n"
+        "bool c(float y) { return 0.5f != y; }\n", m));
+    EXPECT_TRUE(rules.count("float-eq"));
+    // Integer comparisons and epsilon tests stay clean.
+    EXPECT_TRUE(lintFile("src/support/g.cc",
+                         "bool b(int x) { return x == 1; }\n"
+                         "bool c(double y) { return y <= 0.5; }\n", m)
+                    .empty());
+}
+
+TEST(LintRules, MemberUnderscoreStyle)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+class Widget
+{
+  public:
+    int visible;
+  private:
+    int hidden;
+    double fine_;
+    static constexpr int kLimit = 4;
+    void helper(int arg);
+};
+struct PlainData
+{
+    int field;
+};
+)";
+    const auto findings = lintFile("src/support/w.cc", text, m);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "member-underscore");
+    EXPECT_NE(findings[0].message.find("hidden"), std::string::npos);
+}
+
+// --- suppression contract -----------------------------------------------
+
+TEST(LintSuppression, SameLineAndLineAboveBothWork)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+// tlp-lint: allow(rand) -- fixture reason one
+int a() { return rand(); }
+int b() { return rand(); } // tlp-lint: allow(rand) -- fixture reason two
+)";
+    EXPECT_TRUE(lintFile("src/support/s.cc", text, m).empty());
+}
+
+TEST(LintSuppression, WrongRuleIdDoesNotSuppress)
+{
+    const Manifest m = testManifest();
+    const char *text =
+        "// tlp-lint: allow(wallclock) -- wrong rule for the line below\n"
+        "int a() { return rand(); }\n";
+    const auto rules = ruleSet(lintFile("src/support/s.cc", text, m));
+    // The rand finding survives AND the suppression is unused.
+    EXPECT_TRUE(rules.count("rand"));
+    EXPECT_TRUE(rules.count("unused-suppression"));
+}
+
+TEST(LintSuppression, UnusedSuppressionIsAFinding)
+{
+    const Manifest m = testManifest();
+    const auto findings = lintFile(
+        "src/support/s.cc",
+        "// tlp-lint: allow(rand) -- stale audit\nint a;\n", m);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unused-suppression");
+}
+
+// --- golden fixture trees (on disk) -------------------------------------
+
+TEST(LintFixtures, CleanTreeIsClean)
+{
+    const auto manifest = loadManifest(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/clean/manifest.txt");
+    ASSERT_TRUE(manifest.ok()) << manifest.status().toString();
+    const auto report = lintTree(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/clean", {"."},
+        manifest.value());
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_GE(report.value().files_scanned, 5);
+    for (const Finding &f : report.value().findings)
+        ADD_FAILURE() << f.toString();
+}
+
+TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyWhereExpected)
+{
+    const auto manifest = loadManifest(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/dirty/manifest.txt");
+    ASSERT_TRUE(manifest.ok()) << manifest.status().toString();
+    const auto report = lintTree(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/dirty", {"."},
+        manifest.value());
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+
+    const std::set<std::string> expected = {
+        "rand",          "random-device",    "std-engine",
+        "wallclock",     "layering",         "include-forbidden",
+        "include-required", "loader-fatal",  "unbounded-alloc",
+        "pragma-once",   "float-eq",         "member-underscore",
+        "unused-suppression", "bad-suppression",
+    };
+    EXPECT_EQ(ruleSet(report.value().findings), expected);
+
+    // The Fig. 10 pair: forbidden include flagged in the TLP TU, the
+    // missing lowering include flagged in the Ansor TU.
+    auto has = [&](const std::string &file, const std::string &rule) {
+        return std::any_of(report.value().findings.begin(),
+                           report.value().findings.end(),
+                           [&](const Finding &f) {
+                               return f.file == file && f.rule == rule;
+                           });
+    };
+    EXPECT_TRUE(has("src/features/tlp_features.cc", "include-forbidden"));
+    EXPECT_TRUE(has("src/features/ansor_features.cc",
+                    "include-required"));
+}
+
+TEST(LintFixtures, BadManifestFailsToParse)
+{
+    const auto manifest = loadManifest(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/badmanifest/manifest.txt");
+    ASSERT_FALSE(manifest.ok());
+    EXPECT_NE(manifest.status().toString().find("line 5"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, MissingTreeIsAnIoError)
+{
+    const auto report =
+        lintTree("/nonexistent/fixture/root", {"."}, Manifest{});
+    ASSERT_FALSE(report.ok());
+}

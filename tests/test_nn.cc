@@ -262,6 +262,7 @@ TEST(Ops, DropoutTrainVsEval)
     // Training mode: scaled mask of zeros and 2s.
     const Tensor train = dropout(x, 0.5, drop_rng, true);
     for (float v : train.value())
+        // tlp-lint: allow(float-eq) -- dropout writes exact 0.0f into masked slots; the test pins that
         EXPECT_TRUE(v == 0.0f || std::abs(v - 2.0f) < 1e-6);
 }
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Comment / string-literal stripper for tlp_lint.
+ *
+ * A single pass over the file produces two line-preserving views (code
+ * with literals blanked; directives with literals kept) and the parsed
+ * suppression comments. This is not a full C++ lexer: it understands
+ * line/block comments, plain and raw string literals, and character
+ * literals, which is exactly what is needed so that token rules never
+ * fire on prose or on log-message text.
+ */
+#include "tools/tlp_lint/lint.h"
+
+#include <cctype>
+#include <regex>
+
+namespace tlp::lint {
+
+namespace {
+
+/** Split on '\n', preserving an empty trailing line only if text ends
+ *  mid-line (mirrors how editors count lines). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    if (lines.empty())
+        lines.emplace_back();
+    return lines;
+}
+
+/**
+ * Parse a suppression from one line comment's text. Only `//` comments
+ * whose text *starts* with "tlp-lint:" count — prose that merely
+ * mentions the syntax (doc comments, this file) never parses as an
+ * audit. A comment that starts with the marker but is malformed is a
+ * bad-suppression finding.
+ */
+void
+parseSuppressions(const std::string &comment_text, int line,
+                  std::vector<Suppression> &out, std::vector<Finding> &bad)
+{
+    static const std::regex well_formed(
+        R"(^\s*tlp-lint:\s*allow\(([A-Za-z0-9-]+)\)\s*--\s*(\S.*?)\s*$)");
+    static const std::regex marker(R"(^\s*tlp-lint:)");
+
+    if (!std::regex_search(comment_text, marker))
+        return;
+    std::smatch m;
+    if (std::regex_search(comment_text, m, well_formed)) {
+        Suppression s;
+        s.line = line;
+        s.rule = m[1];
+        s.reason = m[2];
+        out.push_back(s);
+        return;
+    }
+    Finding f;
+    f.line = line;
+    f.rule = "bad-suppression";
+    f.message = "malformed tlp-lint comment; expected "
+                "\"tlp-lint: allow(<rule-id>) -- <reason>\"";
+    bad.push_back(f);
+}
+
+} // namespace
+
+StrippedSource
+stripSource(const std::string &text)
+{
+    StrippedSource result;
+    const std::vector<std::string> lines = splitLines(text);
+    result.code.reserve(lines.size());
+    result.directives.reserve(lines.size());
+
+    enum class State { Normal, BlockComment, Str, Chr, Raw };
+    State state = State::Normal;
+    std::string raw_delim; // )delim" terminator for raw strings
+
+    for (size_t li = 0; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        const int lineno = static_cast<int>(li) + 1;
+        std::string code(line.size(), ' ');
+        std::string directive(line.size(), ' ');
+
+        size_t i = 0;
+        while (i < line.size()) {
+            const char c = line[i];
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (state) {
+            case State::Normal:
+                if (c == '/' && next == '/') {
+                    parseSuppressions(line.substr(i + 2), lineno,
+                                      result.suppressions,
+                                      result.bad_suppressions);
+                    i = line.size();
+                    continue;
+                }
+                if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    i += 2;
+                    continue;
+                }
+                if (c == '"') {
+                    // Raw string: an R (possibly u8R/uR/LR) immediately
+                    // before the quote.
+                    if (i > 0 && line[i - 1] == 'R' &&
+                        (i == 1 || !(std::isalnum(static_cast<unsigned char>(
+                                         line[i - 2])) ||
+                                     line[i - 2] == '_'))) {
+                        size_t d = i + 1;
+                        while (d < line.size() && line[d] != '(')
+                            ++d;
+                        raw_delim = ")" +
+                                    line.substr(i + 1, d - (i + 1)) + "\"";
+                        code[i] = '"';
+                        directive[i] = '"';
+                        state = State::Raw;
+                        i = d + 1;
+                        continue;
+                    }
+                    code[i] = '"';
+                    directive[i] = '"';
+                    state = State::Str;
+                    ++i;
+                    continue;
+                }
+                if (c == '\'') {
+                    // Digit separators (1'000'000) are not char literals.
+                    if (i > 0 && std::isdigit(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                        i + 1 < line.size() &&
+                        (std::isdigit(static_cast<unsigned char>(next)) ||
+                         std::isxdigit(static_cast<unsigned char>(next)))) {
+                        code[i] = c;
+                        directive[i] = c;
+                        ++i;
+                        continue;
+                    }
+                    code[i] = '\'';
+                    directive[i] = '\'';
+                    state = State::Chr;
+                    ++i;
+                    continue;
+                }
+                code[i] = c;
+                directive[i] = c;
+                ++i;
+                continue;
+            case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Normal;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+                continue;
+            case State::Str:
+                directive[i] = c;
+                if (c == '\\') {
+                    if (i + 1 < line.size())
+                        directive[i + 1] = next;
+                    i += 2;
+                    continue;
+                }
+                if (c == '"') {
+                    code[i] = '"';
+                    state = State::Normal;
+                }
+                ++i;
+                continue;
+            case State::Chr:
+                if (c == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (c == '\'') {
+                    code[i] = '\'';
+                    directive[i] = '\'';
+                    state = State::Normal;
+                }
+                ++i;
+                continue;
+            case State::Raw:
+                if (!raw_delim.empty() &&
+                    line.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    const size_t end = i + raw_delim.size() - 1;
+                    code[end] = '"';
+                    directive[end] = '"';
+                    state = State::Normal;
+                    i = end + 1;
+                    continue;
+                }
+                ++i;
+                continue;
+            }
+        }
+        if (state == State::Str || state == State::Chr) {
+            // Unterminated plain literal: C++ does not allow a newline
+            // here; recover rather than swallowing the rest of the file.
+            state = State::Normal;
+        }
+        result.code.push_back(std::move(code));
+        result.directives.push_back(std::move(directive));
+    }
+    return result;
+}
+
+} // namespace tlp::lint

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * tlp_lint: a self-hosted invariant checker for the TLP tree.
+ *
+ * The repo's correctness story rests on invariants that used to live only
+ * in prose (CLAUDE.md / DESIGN.md): all stochasticity flows through seeded
+ * support/rng generators, the TLP feature path never touches lowering
+ * (the paper's Fig. 10 asymmetry), artifact loaders return Status /
+ * Result<T> instead of aborting, and length-prefixed allocations sit next
+ * to remaining-bytes bound checks. tlp_lint machine-enforces them: a small
+ * C++ lexer strips comments and string literals (so banned tokens inside
+ * doc comments or message strings never fire), and a rule engine driven by
+ * a checked-in manifest (tools/lint_manifest.txt) scans the tree.
+ *
+ * Findings are suppressible only via an audited comment on the offending
+ * line or the line above:
+ *
+ *     // tlp-lint: allow(<rule-id>) -- <reason>
+ *
+ * A suppression that matches no finding is itself a finding
+ * (unused-suppression), so stale audits cannot accumulate.
+ *
+ * Exit codes follow the CLI contract (DESIGN.md §10): 0 = clean,
+ * 1 = unsuppressed findings, 2 = usage / manifest error (TLP_FATAL).
+ *
+ * Rule catalogue (see DESIGN.md §11 for the full prose):
+ *   rand               libc random sources (rand, srand, drand48, ...)
+ *   random-device      std::random_device (non-reproducible seeding)
+ *   std-engine         any <random> engine or distribution; stochasticity
+ *                      must flow through support/rng
+ *   wallclock          clock reads (system_clock, steady_clock, time(),
+ *                      gettimeofday, ...) outside allowlisted timing TUs
+ *   layering           include edge violating the module DAG declared in
+ *                      the manifest (`layer` directives)
+ *   include-forbidden  file-level include ban (`forbid-include`), e.g.
+ *                      features/tlp_* must not see schedule/lower.h
+ *   include-required   file-level include mandate (`require-include`),
+ *                      e.g. the Ansor extractor must see schedule/lower.h
+ *   loader-fatal       TLP_FATAL / TLP_PANIC inside a TU contracted to
+ *                      return Status / Result<T> (`loader-tu`)
+ *   unbounded-alloc    resize/reserve in a `serialize-consumer` TU with no
+ *                      remaining-bytes check in the preceding lines
+ *   pragma-once        header missing #pragma once
+ *   float-eq           == / != against a floating-point literal (NaN-label
+ *                      hazard; use std::isnan or an epsilon)
+ *   member-underscore  private/protected data member without the
+ *                      trailing_underscore_ style
+ *   bad-suppression    malformed tlp-lint comment (missing rule or reason)
+ *   unused-suppression suppression that matched no finding
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/result.h"
+
+namespace tlp::lint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file;   ///< root-relative path
+    int line = 0;       ///< 1-based; 0 for whole-file findings
+    std::string rule;   ///< rule id, e.g. "wallclock"
+    std::string message;
+
+    /** "file:line: [rule] message" for terminal output. */
+    std::string toString() const;
+};
+
+/** One `tlp-lint: allow(rule) -- reason` comment. */
+struct Suppression
+{
+    int line = 0;
+    std::string rule;
+    std::string reason;
+    bool used = false;
+};
+
+/**
+ * A source file with comments and literal contents blanked out.
+ *
+ * All views preserve line numbers exactly (same number of lines as the
+ * input, bytes replaced by spaces), so rule hits map back to the
+ * original file.
+ */
+struct StrippedSource
+{
+    /** Comments blanked AND string/char literal contents blanked. Token
+     *  rules (rand, wallclock, float-eq, ...) run on this view so a
+     *  banned name inside a log message can never fire. */
+    std::vector<std::string> code;
+    /** Comments blanked, string literals kept. Preprocessor rules
+     *  (#include extraction, #pragma once) run on this view. */
+    std::vector<std::string> directives;
+    /** Parsed suppression comments, in line order. */
+    std::vector<Suppression> suppressions;
+    /** Malformed tlp-lint comments (reported as bad-suppression). */
+    std::vector<Finding> bad_suppressions;
+};
+
+/** Strip @p text; never fails (unterminated constructs end at EOF). */
+StrippedSource stripSource(const std::string &text);
+
+/** Parsed tools/lint_manifest.txt. All paths are root-relative. */
+struct Manifest
+{
+    /** Path prefixes exempt from the wallclock rule (timing TUs). */
+    std::vector<std::string> wallclock_allow;
+    /** Path prefixes skipped entirely. */
+    std::vector<std::string> excludes;
+    /** Module -> modules it may #include from (src/ layering DAG). */
+    std::map<std::string, std::set<std::string>> layers;
+    /** (file prefix, include substring) bans. */
+    std::vector<std::pair<std::string, std::string>> forbid_includes;
+    /** (file prefix, include substring) mandates. */
+    std::vector<std::pair<std::string, std::string>> require_includes;
+    /** TUs contracted to return Status/Result<T> (no FATAL/PANIC). */
+    std::set<std::string> loader_tus;
+    /** TUs whose resize/reserve must sit near a bound check. */
+    std::set<std::string> serialize_consumers;
+};
+
+/**
+ * Parse manifest text. Returns Invalid with a line number on a syntax
+ * error (unknown directive, missing `->`, empty operand).
+ */
+Result<Manifest> parseManifest(const std::string &text);
+
+/** Convenience: read and parse a manifest file. */
+Result<Manifest> loadManifest(const std::string &path);
+
+/**
+ * Lint one file. @p rel_path is the root-relative path used for rule
+ * scoping (layer membership, allowlists); @p text is the file contents.
+ * Returns only unsuppressed findings (plus unused-suppression /
+ * bad-suppression findings).
+ */
+std::vector<Finding> lintFile(const std::string &rel_path,
+                              const std::string &text,
+                              const Manifest &manifest);
+
+/** Result of walking a tree. */
+struct LintReport
+{
+    std::vector<Finding> findings;
+    int files_scanned = 0;
+};
+
+/**
+ * Lint every *.h / *.cc / *.cpp under @p root joined with each of
+ * @p dirs (a dir entry may also name a single file). Files matching a
+ * manifest `exclude` prefix are skipped. Deterministic: files are
+ * visited in sorted root-relative order. Fails with IoError if a
+ * requested dir does not exist.
+ */
+Result<LintReport> lintTree(const std::string &root,
+                            const std::vector<std::string> &dirs,
+                            const Manifest &manifest);
+
+} // namespace tlp::lint

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * tlp_lint CLI.
+ *
+ *     tlp_lint --manifest tools/lint_manifest.txt --root . src bench
+ *
+ * Exit codes follow the repo-wide contract (DESIGN.md §10/§11): 0 when
+ * the scanned tree is clean, 1 on any unsuppressed finding, 2 on a
+ * usage or manifest error (TLP_FATAL).
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+#include "tools/tlp_lint/lint.h"
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: tlp_lint --manifest <file> [--root <dir>] "
+          "<path> [<path> ...]\n"
+          "\n"
+          "Scans *.h / *.cc / *.cpp under each <path> (relative to "
+          "--root, default \".\")\nand enforces the invariants declared "
+          "in the manifest. See DESIGN.md section 11.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string manifest_path;
+    std::string root = ".";
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                TLP_FATAL("flag ", arg, " expects a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (arg == "--manifest") {
+            manifest_path = value();
+        } else if (arg == "--root") {
+            root = value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            printUsage(std::cerr);
+            TLP_FATAL("unknown flag ", arg);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (manifest_path.empty()) {
+        printUsage(std::cerr);
+        TLP_FATAL("--manifest is required");
+    }
+    if (paths.empty()) {
+        printUsage(std::cerr);
+        TLP_FATAL("no paths to scan");
+    }
+
+    const auto manifest = tlp::lint::loadManifest(manifest_path);
+    if (!manifest.ok())
+        TLP_FATAL(manifest.status().toString());
+
+    const auto report =
+        tlp::lint::lintTree(root, paths, manifest.value());
+    if (!report.ok())
+        TLP_FATAL(report.status().toString());
+
+    for (const tlp::lint::Finding &finding : report.value().findings)
+        std::cerr << finding.toString() << "\n";
+    const size_t count = report.value().findings.size();
+    if (count > 0) {
+        std::cerr << "tlp_lint: " << count << " finding(s) in "
+                  << report.value().files_scanned
+                  << " file(s); suppress only with \"// tlp-lint: "
+                     "allow(<rule-id>) -- <reason>\"\n";
+        return 1;
+    }
+    std::cerr << "tlp_lint: clean (" << report.value().files_scanned
+              << " files)\n";
+    return 0;
+}
