@@ -5,8 +5,10 @@
  *
  * Usage: tune_workload [--network resnet-18] [--platform i7-10510u]
  *                      [--model ansor|random|tlp] [--rounds 20]
- *                      [--fault-rate 0.1] [--retries 2]
- *                      [--checkpoint tune.ckpt] [--resume tune.ckpt]
+ *                      [--subgraphs 2] [--fault-rate 0.1] [--retries 2]
+ *                      [--checkpoint tune.ckpt] [--checkpoint-every 5]
+ *                      [--resume tune.ckpt]
+ *                      [--verify-checkpoint tune.ckpt]
  *                      [--save-model tlp.snap] [--load-model tlp.snap]
  *                      [--threads 4] [--supervise]
  *                      [--train-fault-rate 0.05] [--guarded]
@@ -52,8 +54,15 @@ main(int argc, char **argv)
     args.addInt("retries", 2, "retries for transient measurement faults");
     args.addString("checkpoint", "",
                    "checkpoint file written every few rounds");
+    args.addInt("checkpoint-every", 5,
+                "rounds between checkpoint writes");
     args.addString("resume", "",
                    "resume from this checkpoint (implies --checkpoint)");
+    args.addString("verify-checkpoint", "",
+                   "integrity-check this checkpoint and exit "
+                   "(0 = intact, 3 = damaged)");
+    args.addInt("subgraphs", 0,
+                "tune only the first N subgraphs (0 = all)");
     args.addString("save-model", "",
                    "save the pretrained TLP model snapshot here");
     args.addString("load-model", "",
@@ -75,6 +84,23 @@ main(int argc, char **argv)
                 "updates (needs --guarded)");
     args.parse(argc, argv);
 
+    // Artifact triage mode: no tuning, just the §8 integrity check with
+    // the standard exit-code contract (0 intact, 3 damaged).
+    const std::string verify = args.getString("verify-checkpoint");
+    if (!verify.empty()) {
+        std::ifstream probe(verify, std::ios::binary);
+        if (!probe) {
+            artifactFatal(Status::error(ErrorCode::IoError,
+                                        "cannot open for read"),
+                          "cannot verify checkpoint ", verify);
+        }
+        const Status status = tune::verifyCheckpoint(probe);
+        if (!status.ok())
+            artifactFatal(status, "damaged checkpoint ", verify);
+        std::printf("checkpoint %s: intact\n", verify.c_str());
+        return 0;
+    }
+
     const int threads = static_cast<int>(args.getInt("threads"));
     if (threads < 0)
         TLP_FATAL("--threads must be >= 0, got ", threads);
@@ -84,8 +110,17 @@ main(int argc, char **argv)
 
     const auto platform =
         hw::HardwarePlatform::preset(args.getString("platform"));
-    const ir::Workload workload =
+    ir::Workload workload =
         ir::partitionGraph(ir::buildNetwork(args.getString("network")));
+    const int subgraphs = static_cast<int>(args.getInt("subgraphs"));
+    if (subgraphs < 0)
+        TLP_FATAL("--subgraphs must be >= 0, got ", subgraphs);
+    if (subgraphs > 0 &&
+        static_cast<size_t>(subgraphs) < workload.subgraphs.size()) {
+        workload.name += "-slice" + std::to_string(subgraphs);
+        workload.subgraphs.resize(static_cast<size_t>(subgraphs));
+        workload.weights.resize(static_cast<size_t>(subgraphs));
+    }
     std::printf("tuning %s on %s: %zu tasks\n",
                 args.getString("network").c_str(), platform.name.c_str(),
                 workload.subgraphs.size());
@@ -196,6 +231,10 @@ main(int argc, char **argv)
         options.measure.faults = hw::FaultProfile::uniform(fault_rate);
     options.measure.max_retries = static_cast<int>(args.getInt("retries"));
     options.checkpoint_path = args.getString("checkpoint");
+    options.checkpoint_every =
+        static_cast<int>(args.getInt("checkpoint-every"));
+    if (options.checkpoint_every <= 0)
+        TLP_FATAL("--checkpoint-every must be positive");
     if (!args.getString("resume").empty()) {
         options.checkpoint_path = args.getString("resume");
         options.resume = true;

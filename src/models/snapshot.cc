@@ -1,5 +1,7 @@
 #include "models/snapshot.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -174,6 +176,48 @@ loadTlpSnapshot(const std::string &path)
                              "cannot open for read: " + path);
     }
     return loadTlpSnapshot(is);
+}
+
+Status
+probeSnapshotHealth(TlpNet &net)
+{
+    // Fixed synthetic batch (no Rng: the probe must be a pure function
+    // of the parameters so two probes of the same snapshot agree).
+    const TlpNetConfig &config = net.config();
+    const int batch = 4;
+    const int width = config.seq_len * config.emb_size;
+    std::vector<float> data(static_cast<size_t>(batch) *
+                            static_cast<size_t>(width));
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = 0.1f * static_cast<float>(static_cast<int>(i % 13) - 6);
+    nn::Tensor x = nn::Tensor::fromData({batch, width}, std::move(data));
+
+    const nn::Tensor scores = net.forwardTask(x, 0);
+    if (scores.numel() != batch) {
+        return Status::error(ErrorCode::Invalid,
+                             "snapshot probe: head 0 produced " +
+                                 std::to_string(scores.numel()) +
+                                 " scores for a batch of " +
+                                 std::to_string(batch));
+    }
+    float lo = scores.value()[0];
+    float hi = scores.value()[0];
+    for (const float score : scores.value()) {
+        if (!std::isfinite(score)) {
+            return Status::error(ErrorCode::Invalid,
+                                 "snapshot probe: non-finite score "
+                                 "(poisoned parameters)");
+        }
+        lo = std::min(lo, score);
+        hi = std::max(hi, score);
+    }
+    if (!(hi - lo > 1e-12f)) {
+        return Status::error(ErrorCode::Invalid,
+                             "snapshot probe: degenerate scores (all " +
+                                 std::to_string(hi) +
+                                 "); parameters look zeroed");
+    }
+    return Status();
 }
 
 void

@@ -39,6 +39,15 @@ void saveTlpSnapshot(std::ostream &os, TlpNet &net);
 Result<std::shared_ptr<TlpNet>> loadTlpSnapshot(const std::string &path);
 Result<std::shared_ptr<TlpNet>> loadTlpSnapshot(std::istream &is);
 
+/**
+ * Staleness/health probe for a freshly loaded TLP snapshot (DESIGN.md
+ * §12): runs a fixed synthetic batch through head 0 and demands finite
+ * scores with a non-degenerate spread. A snapshot whose parameters were
+ * zeroed, NaN-poisoned, or truncated-but-CRC-lucky fails the probe, so a
+ * service can reject a hot-swap before any session scores with it.
+ */
+Status probeSnapshotHealth(TlpNet &net);
+
 /** Save the TenSet-MLP baseline the same way. */
 Status saveMlpSnapshot(const std::string &path, TensetMlpNet &net);
 void saveMlpSnapshot(std::ostream &os, TensetMlpNet &net);

@@ -54,6 +54,68 @@ if(NOT corrupt_output MATCHES "cannot load dataset")
             "the failure. stderr: ${corrupt_output}")
 endif()
 
+# --- checkpoint triage: --verify-checkpoint exits 0 intact / 3 damaged -
+
+# Build a real (tiny) checkpoint first: 1 subgraph, 1 round.
+set(smoke_ckpt "${WORK_DIR}/cli_smoke_verify.ckpt")
+file(REMOVE "${smoke_ckpt}")
+execute_process(
+    COMMAND "${TUNE_WORKLOAD}" --model random --rounds 1 --subgraphs 1
+        --checkpoint "${smoke_ckpt}" --checkpoint-every 1
+    RESULT_VARIABLE mk_ckpt_code
+    OUTPUT_QUIET ERROR_VARIABLE mk_ckpt_output)
+if(NOT mk_ckpt_code EQUAL 0)
+    message(FATAL_ERROR
+            "tune_workload (building the smoke checkpoint): expected "
+            "exit 0, got '${mk_ckpt_code}'. stderr: ${mk_ckpt_output}")
+endif()
+
+execute_process(
+    COMMAND "${TUNE_WORKLOAD}" --verify-checkpoint "${smoke_ckpt}"
+    RESULT_VARIABLE verify_ok_code
+    OUTPUT_VARIABLE verify_ok_output ERROR_QUIET)
+if(NOT verify_ok_code EQUAL 0)
+    message(FATAL_ERROR
+            "tune_workload --verify-checkpoint <intact>: expected exit "
+            "0, got '${verify_ok_code}'. stdout: ${verify_ok_output}")
+endif()
+if(NOT verify_ok_output MATCHES "intact")
+    message(FATAL_ERROR
+            "tune_workload --verify-checkpoint <intact>: output does "
+            "not say intact. stdout: ${verify_ok_output}")
+endif()
+
+set(bad_ckpt "${WORK_DIR}/cli_smoke_verify_bad.ckpt")
+file(WRITE "${bad_ckpt}" "definitely not a TLPS checkpoint\n")
+execute_process(
+    COMMAND "${TUNE_WORKLOAD}" --verify-checkpoint "${bad_ckpt}"
+    RESULT_VARIABLE verify_bad_code
+    OUTPUT_QUIET ERROR_VARIABLE verify_bad_output)
+file(REMOVE "${bad_ckpt}" "${smoke_ckpt}")
+if(NOT verify_bad_code EQUAL 3)
+    message(FATAL_ERROR
+            "tune_workload --verify-checkpoint <garbage>: expected exit "
+            "3 (damaged artifact), got '${verify_bad_code}'. stderr: "
+            "${verify_bad_output}")
+endif()
+if(NOT verify_bad_output MATCHES "damaged checkpoint")
+    message(FATAL_ERROR
+            "tune_workload --verify-checkpoint <garbage>: message does "
+            "not name the damage. stderr: ${verify_bad_output}")
+endif()
+
+# A missing file is also an artifact problem (exit 3), not a crash.
+execute_process(
+    COMMAND "${TUNE_WORKLOAD}" --verify-checkpoint
+        "${WORK_DIR}/cli_smoke_no_such_file.ckpt"
+    RESULT_VARIABLE verify_missing_code
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT verify_missing_code EQUAL 3)
+    message(FATAL_ERROR
+            "tune_workload --verify-checkpoint <missing>: expected exit "
+            "3, got '${verify_missing_code}'")
+endif()
+
 # --- tlp_lint exit codes: 0 = clean tree, 1 = findings, 2 = bad config -
 
 execute_process(
@@ -99,4 +161,5 @@ if(NOT lint_bad_code EQUAL 2)
 endif()
 
 message(STATUS "cli exit-code contract holds: user error=2, corrupt=3, "
-               "lint clean=0 / findings=1 / bad manifest=2")
+               "verify-checkpoint 0/3, lint clean=0 / findings=1 / bad "
+               "manifest=2")

@@ -524,8 +524,8 @@ TEST(Corruption, SnapshotVersionSkewIsClean)
 
 TEST(Corruption, CheckpointVersionSkewIsClean)
 {
-    // v2 (pre-guarded-search) checkpoints still load; v4 and v1 do not.
-    for (const uint32_t version : {4u, 1u}) {
+    // v2 (pre-guarded-search) checkpoints still load; v5 and v1 do not.
+    for (const uint32_t version : {5u, 1u}) {
         std::istringstream is(
             withVersion(goldenCheckpointBytes(), version));
         const Status status = tune::verifyCheckpoint(is);
@@ -533,6 +533,49 @@ TEST(Corruption, CheckpointVersionSkewIsClean)
         EXPECT_EQ(status.code(), ErrorCode::VersionSkew)
             << status.toString();
     }
+}
+
+TEST(Corruption, CheckpointV3StillLoads)
+{
+    // Hand-build a v3 checkpoint (narrow 24-byte curve points, no phase
+    // byte) and check the current reader accepts it: the format bump to
+    // v4 must not orphan existing checkpoints.
+    struct NarrowCurvePoint
+    {
+        int64_t measurements;
+        double search_seconds;
+        double workload_latency_ms;
+    };
+    std::ostringstream os;
+    BinaryWriter writer(os);
+    writeHeader(writer, 0x544c5053, 3);
+    writeSection(writer, sectionTag("STAT"), [&](BinaryWriter &w) {
+        w.writePod<uint64_t>(0xfeedULL);    // digest (unchecked on verify)
+        w.writePod<int32_t>(2);             // rounds_done
+        Rng rng(7);
+        rng.serialize(w);
+        hw::Measurer measurer(hw::HardwarePlatform::preset("i7-10510u"),
+                              hw::MeasureOptions{}, 7);
+        measurer.serializeState(w);
+        w.writePod<double>(0.25);           // model_seconds
+        w.writePod<int64_t>(8);             // total_measurements
+        std::vector<NarrowCurvePoint> curve{{4, 0.5, 9.0}, {8, 1.0, 7.5}};
+        w.writeVector(curve);
+        std::vector<double> best{7.5};
+        w.writeVector(best);
+        w.writePod<uint32_t>(1);            // num_tasks
+        w.writePod<double>(7.5);            // best_ms
+        w.writePod<int32_t>(2);             // rounds_done
+        w.writePod<double>(0.1);            // last_improvement
+        std::vector<uint64_t> hashes{1, 2, 3};
+        w.writeVector(hashes);
+        w.writePod<uint64_t>(0);            // num history rounds
+        w.writeString("random:5");          // v3: model name
+        w.writeString("");                  // v3: model state blob
+    });
+    std::istringstream is(os.str());
+    const Status status = tune::verifyCheckpoint(is);
+    EXPECT_TRUE(status.ok()) << status.toString();
 }
 
 TEST(Corruption, TrainCheckpointVersionSkewIsClean)

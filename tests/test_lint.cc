@@ -43,6 +43,7 @@ layer schedule -> support
 layer features -> schedule support
 layer nn -> support
 layer tuner -> nn schedule support
+layer tuner/service -> tuner support
 forbid-include src/features/tlp_features -> schedule/lower.h
 require-include src/features/ansor_features -> schedule/lower.h
 loader-tu src/loader.cc
@@ -130,7 +131,7 @@ TEST(LintLexer, MissingReasonIsMalformed)
 TEST(LintManifest, ParsesDirectives)
 {
     const Manifest m = testManifest();
-    EXPECT_EQ(m.layers.size(), 5u);
+    EXPECT_EQ(m.layers.size(), 6u);
     EXPECT_TRUE(m.layers.at("tuner").count("nn"));
     EXPECT_TRUE(m.layers.at("support").empty());
     ASSERT_EQ(m.forbid_includes.size(), 1u);
@@ -231,6 +232,38 @@ TEST(LintRules, LayeringAcceptsDeclaredEdge)
                          "#include \"schedule/state.h\"\n",
                          m)
                     .empty());
+}
+
+TEST(LintRules, NestedLayerOwnsItsFilesAndIncludes)
+{
+    // A declared nested layer (tuner/service) shadows its parent: its
+    // files resolve to the nested module and may use the nested deps.
+    const Manifest m = testManifest();
+    EXPECT_TRUE(lintFile("src/tuner/service/service.cc",
+                         "#include \"tuner/service/service.h\"\n"
+                         "#include \"tuner/session.h\"\n"
+                         "#include \"support/result.h\"\n",
+                         m)
+                    .empty());
+    // ...but the nested layer only gets its OWN edges: tuner may see
+    // nn, tuner/service here may not.
+    const auto rules = ruleSet(
+        lintFile("src/tuner/service/service.cc",
+                 "#include \"nn/tensor.h\"\n", m));
+    EXPECT_TRUE(rules.count("layering"));
+}
+
+TEST(LintRules, ParentLayerMustNotIncludeNestedLayer)
+{
+    // The include "tuner/service/..." resolves to the nested layer, so
+    // the parent needs an explicit (undeclared here) edge to use it:
+    // sessions never know about the service above them.
+    const Manifest m = testManifest();
+    const auto findings =
+        lintFile("src/tuner/session.cc",
+                 "#include \"tuner/service/service.h\"\n", m);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "layering");
 }
 
 TEST(LintRules, UndeclaredModuleIsAFinding)

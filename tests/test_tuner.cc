@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
@@ -153,6 +154,31 @@ TEST(Session, TimeToReachSemantics)
     EXPECT_TRUE(std::isinf(result.timeToReach(1.0)));
 }
 
+TEST(Session, TimeToReachBoundaryCases)
+{
+    // Empty curve: nothing was ever reached.
+    TuneResult empty;
+    EXPECT_TRUE(std::isinf(empty.timeToReach(1e9)));
+
+    TuneResult result;
+    result.curve = {{10, 1.0, 100.0}, {20, 2.0, 50.0}, {30, 3.0, 25.0}};
+    // Target hit EXACTLY on a curve point (<= , not <): the first
+    // point's own latency counts as reached at that point's time.
+    EXPECT_DOUBLE_EQ(result.timeToReach(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(result.timeToReach(50.0), 2.0);
+    // Target below the best the curve ever reached: never.
+    EXPECT_TRUE(std::isinf(result.timeToReach(24.999)));
+    // Target above everything: reached at the very first point.
+    EXPECT_DOUBLE_EQ(result.timeToReach(1e12), 1.0);
+    // A generous (infinite) target is reached immediately; an
+    // impossible (-inf) one never.
+    EXPECT_DOUBLE_EQ(
+        result.timeToReach(std::numeric_limits<double>::infinity()),
+        1.0);
+    EXPECT_TRUE(std::isinf(
+        result.timeToReach(-std::numeric_limits<double>::infinity())));
+}
+
 TEST(Session, GpuWorkloadTunes)
 {
     const auto workload = tinyWorkload();
@@ -270,6 +296,56 @@ TEST(Session, CheckpointResumeMatchesUninterruptedRun)
         EXPECT_DOUBLE_EQ(resumed.curve[i].workload_latency_ms,
                          reference.curve[i].workload_latency_ms);
     }
+    std::remove(ckpt.c_str());
+}
+
+TEST(Session, CheckpointEveryRoundNeverRemeasuresFinalRound)
+{
+    // Cadence edge case: checkpoint_every = 1 and a crash after the
+    // final round but before result emission. The final round's
+    // checkpoint is on disk, so the resumed session must come back
+    // already Finished and re-measure NOTHING — measurement counts and
+    // simulated seconds are pinned to the uninterrupted run's.
+    const auto workload = tinyWorkload();
+    const std::string ckpt =
+        ::testing::TempDir() + "tlp_cadence_test.ckpt";
+    std::remove(ckpt.c_str());
+
+    TuneOptions options = quickOptions();
+    options.rounds = 5;
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 1;
+
+    model::AnsorOnlineCostModel reference_model;
+    const auto reference =
+        tuneWorkload(workload, hw::HardwarePlatform::preset("e5-2673"),
+                     reference_model, options);
+
+    model::AnsorOnlineCostModel resumed_model;
+    TuningSession session(workload,
+                          hw::HardwarePlatform::preset("e5-2673"),
+                          resumed_model, options);
+    const Status status = session.resumeFromCheckpoint();
+    ASSERT_TRUE(status.ok()) << status.toString();
+    EXPECT_EQ(session.phase(), SessionPhase::Finished);
+    EXPECT_EQ(session.roundsDone(), options.rounds);
+    EXPECT_TRUE(session.done());
+    EXPECT_FALSE(session.step());   // a step must be a no-op now
+
+    const TuneResult &result = session.finish();
+    EXPECT_EQ(result.total_measurements, reference.total_measurements);
+    EXPECT_DOUBLE_EQ(result.measure_seconds, reference.measure_seconds);
+    ASSERT_EQ(result.curve.size(), reference.curve.size());
+    for (size_t i = 0; i < reference.curve.size(); ++i) {
+        EXPECT_EQ(result.curve[i].measurements,
+                  reference.curve[i].measurements);
+        EXPECT_DOUBLE_EQ(result.curve[i].workload_latency_ms,
+                         reference.curve[i].workload_latency_ms);
+        EXPECT_DOUBLE_EQ(result.curve[i].measure_seconds,
+                         reference.curve[i].measure_seconds);
+    }
+    EXPECT_DOUBLE_EQ(result.best_workload_latency_ms,
+                     reference.best_workload_latency_ms);
     std::remove(ckpt.c_str());
 }
 

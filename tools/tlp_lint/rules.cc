@@ -185,16 +185,39 @@ matchesAnyPrefix(const std::string &path,
                        });
 }
 
-/** src/<module>/... -> <module>; empty when not under src/. */
+/**
+ * Longest declared layer owning @p path (a src/-relative file path or
+ * an include path), segment-aligned; empty when no declared layer is a
+ * prefix. Nested modules ("tuner/service") shadow their parent for the
+ * files and includes under them.
+ */
 std::string
-moduleOf(const std::string &rel_path)
+resolveLayer(const std::string &path, const Manifest &manifest)
+{
+    std::string best;
+    for (const auto &[name, deps] : manifest.layers) {
+        (void)deps;
+        if (name.size() > best.size() && hasPrefix(path, name + "/"))
+            best = name;
+    }
+    return best;
+}
+
+/** src/<module>/... -> deepest declared layer (or the first path
+ *  segment when none is declared); empty when not under src/. */
+std::string
+moduleOf(const std::string &rel_path, const Manifest &manifest)
 {
     if (!hasPrefix(rel_path, "src/"))
         return "";
-    const size_t slash = rel_path.find('/', 4);
+    const std::string rest = rel_path.substr(4);
+    const std::string declared = resolveLayer(rest, manifest);
+    if (!declared.empty())
+        return declared;
+    const size_t slash = rest.find('/');
     if (slash == std::string::npos)
         return "";
-    return rel_path.substr(4, slash - 4);
+    return rest.substr(0, slash);
 }
 
 struct TokenRule
@@ -442,7 +465,7 @@ lintFile(const std::string &rel_path, const std::string &text,
     }
 
     // (2) include rules over the directive view.
-    const std::string module = moduleOf(rel_path);
+    const std::string module = moduleOf(rel_path, manifest);
     bool saw_pragma_once = false;
     std::vector<std::pair<int, std::string>> includes;
     for (size_t li = 0; li < src.directives.size(); ++li) {
@@ -467,7 +490,11 @@ lintFile(const std::string &rel_path, const std::string &text,
                 const size_t slash = inc.find('/');
                 if (slash == std::string::npos)
                     continue;
-                const std::string target = inc.substr(0, slash);
+                // A nested declared layer (e.g. tuner/service) claims
+                // its includes away from the parent layer.
+                const std::string declared = resolveLayer(inc, manifest);
+                const std::string target =
+                    !declared.empty() ? declared : inc.substr(0, slash);
                 if (target == module ||
                     !manifest.layers.count(target))
                     continue;
