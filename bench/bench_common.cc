@@ -6,6 +6,7 @@
 
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
+#include "models/cost_model.h"
 #include "schedule/lower.h"
 #include "sketch/policy.h"
 #include "support/logging.h"
@@ -64,6 +65,29 @@ collectionFingerprint(const data::CollectOptions &options)
         hw::Measurer measurer(hw::HardwarePlatform::preset(platform),
                               measure_options, options.seed);
         hash = mixDouble(hash, measurer.measureMs(nest));
+    }
+
+    // Scoring-path probe: a fixed tiny net scored over a fixed
+    // population through both the legacy (interpreted, uncached) and
+    // the fast (fused, cached) inference paths. Any behavioral drift in
+    // feature extraction or either forward — including a fused/cached
+    // divergence, which must never happen — moves the fingerprint and
+    // regenerates the memo instead of serving it stale.
+    const auto score_states = policy.sampleInitPopulation(4, rng);
+    TLP_CHECK(!score_states.empty(), "empty scoring probe population");
+    model::TlpNetConfig probe_config;
+    probe_config.hidden = 16;
+    probe_config.heads = 4;
+    probe_config.head_hidden = 8;
+    probe_config.residual_blocks = 1;
+    Rng probe_rng(0x70be);
+    auto probe_net =
+        std::make_shared<model::TlpNet>(probe_config, probe_rng);
+    for (const auto &infer : {model::TlpInferOptions::legacy(),
+                              model::TlpInferOptions{true, 64}}) {
+        model::TlpCostModel cost_model(probe_net, {}, 0, infer);
+        for (double score : cost_model.predictBatch(0, score_states))
+            hash = mixDouble(hash, score);
     }
     return hash;
 }

@@ -59,6 +59,10 @@ main(int argc, char **argv)
     args.addInt("threads", 0,
                 "worker threads for kernels/features "
                 "(0 = TLP_NUM_THREADS env, default 1)");
+    args.addBool("legacy-infer", false,
+                 "score with the interpreted TLP forward and no feature "
+                 "cache (same curves, slower; overrides TLP_FUSED_INFER "
+                 "/ TLP_FEATURE_CACHE)");
     args.addBool("verbose", false, "per-tick service log");
     args.parse(argc, argv);
 
@@ -83,6 +87,8 @@ main(int argc, char **argv)
     options.max_active = static_cast<int>(args.getInt("max-active"));
     options.max_queued = static_cast<int>(args.getInt("max-queued"));
     options.faults.transient_rate = fault_rate;
+    if (args.getBool("legacy-infer"))
+        options.tlp_infer = model::TlpInferOptions::legacy();
     options.verbose = args.getBool("verbose");
     serve::TuningService service(options);
 

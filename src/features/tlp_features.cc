@@ -60,15 +60,25 @@ rawEmbeddingSize(const PrimitiveSeq &seq)
 std::vector<float>
 extractTlpFeatures(const PrimitiveSeq &seq, const TlpFeatureOptions &options)
 {
+    std::vector<float> features(static_cast<size_t>(options.seq_len) *
+                                static_cast<size_t>(options.emb_size));
+    extractTlpFeaturesInto(seq, options, features.data());
+    return features;
+}
+
+void
+extractTlpFeaturesInto(const PrimitiveSeq &seq,
+                       const TlpFeatureOptions &options, float *out)
+{
     const size_t rows = static_cast<size_t>(options.seq_len);
     const size_t cols = static_cast<size_t>(options.emb_size);
-    std::vector<float> features(rows * cols, 0.0f);
+    std::fill(out, out + rows * cols, 0.0f);
 
     const size_t count =
         std::min<size_t>(rows, seq.prims.size());   // crop long sequences
     for (size_t i = 0; i < count; ++i) {
         const Primitive &prim = seq.prims[i];
-        float *row = features.data() + i * cols;
+        float *row = out + i * cols;
         if (options.method == TlpMethod::TokenPerPrim) {
             // Method 2: the whole primitive becomes one token.
             uint64_t h = static_cast<uint64_t>(prim.kind);
@@ -84,11 +94,25 @@ extractTlpFeatures(const PrimitiveSeq &seq, const TlpFeatureOptions &options)
             row[0] = static_cast<float>(1 + h % 9973) / 512.0f;
             continue;
         }
-        const auto emb = primitiveEmbedding(prim);
-        const size_t width = std::min(cols, emb.size()); // crop wide prims
-        std::copy(emb.begin(), emb.begin() + static_cast<long>(width), row);
+        // The uncropped embedding is the kind one-hot followed by the
+        // encoded params in order (primitiveEmbedding); writing each
+        // element straight into its cropped destination is bit-identical
+        // to building the vector and copying the first `cols` entries.
+        if (static_cast<size_t>(prim.kind) < cols)
+            row[static_cast<size_t>(prim.kind)] = 1.0f;
+        size_t col = static_cast<size_t>(kNumPrimKinds);
+        for (const Param &param : prim.params) {
+            if (col >= cols)
+                break;   // crop wide primitives
+            if (std::holds_alternative<int64_t>(param)) {
+                row[col] = encodeNumber(std::get<int64_t>(param));
+            } else {
+                const auto &name = std::get<std::string>(param);
+                row[col] = static_cast<float>(nameToken(name)) / 8.0f;
+            }
+            ++col;
+        }
     }
-    return features;
 }
 
 } // namespace tlp::feat

@@ -55,6 +55,16 @@ std::vector<float> primitiveEmbedding(const sched::Primitive &prim);
 std::vector<float> extractTlpFeatures(const sched::PrimitiveSeq &seq,
                                       const TlpFeatureOptions &options = {});
 
+/**
+ * Allocation-free variant for the scoring hot path (DESIGN.md §13):
+ * writes the same row-major [seq_len x emb_size] matrix as
+ * extractTlpFeatures — bit-identically — into caller-owned @p out
+ * without touching the heap (per-primitive embeddings are encoded
+ * straight into their cropped destination row).
+ */
+void extractTlpFeaturesInto(const sched::PrimitiveSeq &seq,
+                            const TlpFeatureOptions &options, float *out);
+
 /** Embedding width of @p seq before cropping (max over primitives). */
 int rawEmbeddingSize(const sched::PrimitiveSeq &seq);
 

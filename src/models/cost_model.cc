@@ -1,9 +1,12 @@
 #include "models/cost_model.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "features/ansor_features.h"
 #include "schedule/lower.h"
+#include "support/config.h"
+#include "support/rng.h"
 #include "support/thread_pool.h"
 
 namespace tlp::model {
@@ -67,15 +70,40 @@ ansorFeaturesOf(const std::vector<sched::State> &states)
 
 } // namespace
 
+TlpInferOptions
+TlpInferOptions::fromEnv()
+{
+    TlpInferOptions options;
+    options.fused =
+        static_cast<int64_t>(envOr("TLP_FUSED_INFER", 1.0)) != 0;
+    options.cache_capacity = static_cast<int64_t>(
+        envOr("TLP_FEATURE_CACHE",
+              static_cast<double>(options.cache_capacity)));
+    if (options.cache_capacity < 0)
+        options.cache_capacity = 0;
+    return options;
+}
+
 TlpCostModel::TlpCostModel(std::shared_ptr<TlpNet> net,
                            feat::TlpFeatureOptions feature_options,
-                           int head_task)
+                           int head_task, TlpInferOptions infer_options)
     : net_(std::move(net)), feature_options_(feature_options),
-      head_task_(head_task)
+      head_task_(head_task), infer_options_(infer_options)
 {
     TLP_CHECK(net_ != nullptr, "null TLP net");
     feature_options_.seq_len = net_->config().seq_len;
     feature_options_.emb_size = net_->config().emb_size;
+    params_ = net_->parameters();
+    if (infer_options_.fused && !net_->config().lstm_backbone) {
+        fused_ = std::make_unique<FusedTlpInference>(net_);
+        packed_epoch_ = paramsFingerprint();
+    }
+    if (infer_options_.cache_capacity > 0) {
+        cache_ = std::make_unique<FeatureCache>(
+            static_cast<int64_t>(feature_options_.seq_len) *
+                feature_options_.emb_size,
+            infer_options_.cache_capacity);
+    }
 }
 
 std::vector<double>
@@ -85,36 +113,190 @@ TlpCostModel::scoreStates(int task_id,
     return predictBatch(task_id, states);
 }
 
+uint64_t
+TlpCostModel::paramsFingerprint() const
+{
+    // Content hash over every parameter tensor. ~0.2 ms for the default
+    // net — amortized to sub-microsecond per candidate — and robust
+    // against every way the weights can change under us: continued
+    // training, loadParameters() on snapshot install, hot-swap.
+    uint64_t hash = 0x7e9f00d5ull;
+    for (const nn::Tensor &param : params_) {
+        const auto &value = param.value();
+        hash = hashCombine(hash, value.size());
+        hash = hashCombine(
+            hash, fnv1a(value.data(), value.size() * sizeof(float)));
+    }
+    return hash;
+}
+
+FeatureCache::Stats
+TlpCostModel::cacheStats() const
+{
+    return cache_ ? cache_->stats() : FeatureCache::Stats{};
+}
+
+std::vector<double>
+TlpCostModel::interpretedForward(const std::vector<float> &features,
+                                 int rows)
+{
+    const int dim =
+        feature_options_.seq_len * feature_options_.emb_size;
+    auto set = featureOnlySet(features, rows, dim);
+    // One forward over the whole pending set (split only beyond the
+    // activation-memory cap), instead of per-candidate forwards.
+    return predictTlpNet(*net_, set, head_task_,
+                         std::min(set.rows, kMaxForwardBatch));
+}
+
 std::vector<double>
 TlpCostModel::predictBatch(int task_id,
                            const std::vector<sched::State> &states)
 {
     if (states.empty())
         return {};
-    // Parallel feature extraction: extractTlpFeatures reads only the
-    // PrimitiveSeq (no lowering, no shared state), and each candidate
-    // owns a disjoint feature row.
+    const auto n = static_cast<int64_t>(states.size());
     const size_t dim = static_cast<size_t>(feature_options_.seq_len) *
                        static_cast<size_t>(feature_options_.emb_size);
-    std::vector<float> features(states.size() * dim);
+    std::vector<double> scores(states.size());
+
+    // Stale-weight guard: score memos are keyed by this fingerprint and
+    // the packed fused weights are refreshed when it moves.
+    const uint64_t epoch =
+        (cache_ || fused_) ? paramsFingerprint() : 0;
+    if (fused_ && epoch != packed_epoch_) {
+        fused_->repack();
+        packed_epoch_ = epoch;
+    }
+
+    if (!cache_) {
+        // No cache: extract every row (parallel; extractTlpFeaturesInto
+        // reads only the PrimitiveSeq and each candidate owns a
+        // disjoint row) and forward the whole population.
+        batch_.resize(states.size() * dim);
+        ThreadPool::global().parallelFor(
+            0, n, 1, [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                    feat::extractTlpFeaturesInto(
+                        states[static_cast<size_t>(i)].steps(),
+                        feature_options_,
+                        batch_.data() + static_cast<size_t>(i) * dim);
+                }
+            });
+        if (fused_) {
+            fused_->predict(batch_.data(), n, head_task_,
+                            scores.data());
+            return scores;
+        }
+        return interpretedForward(batch_, static_cast<int>(n));
+    }
+
+    // Cached path. Pass 1 (parallel): hash every candidate's sequence.
+    keys_.resize(states.size());
     ThreadPool::global().parallelFor(
-        0, static_cast<int64_t>(states.size()), 1,
-        [&](int64_t begin, int64_t end) {
-            for (int64_t i = begin; i < end; ++i) {
-                const auto row = feat::extractTlpFeatures(
-                    states[static_cast<size_t>(i)].steps(),
-                    feature_options_);
-                std::copy(row.begin(), row.end(),
-                          features.begin() + static_cast<size_t>(i) * dim);
+        0, n, 1, [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i)
+                keys_[static_cast<size_t>(i)] = seqKeyOf(
+                    states[static_cast<size_t>(i)].steps());
+        });
+
+    // Pass 2 (serial): classify against the cache. Score memos resolve
+    // immediately; everything else joins the pending forward set. A
+    // batch reads its referenced slots only after classification, so an
+    // insert must never evict a slot an earlier candidate of this batch
+    // still points at — when the FIFO victim is claimed, the candidate
+    // bypasses the cache (slot -1: extracted straight into the batch
+    // buffer, never memoized).
+    pending_state_.clear();
+    pending_slot_.clear();
+    pending_fresh_.clear();
+    claimed_.assign(static_cast<size_t>(cache_->capacity()), 0);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t slot = cache_->find(keys_[static_cast<size_t>(i)]);
+        bool fresh = false;
+        if (slot < 0) {
+            fresh = true;
+            if (cache_->full() &&
+                claimed_[static_cast<size_t>(cache_->nextVictim())]) {
+                cache_->noteBypass();
+                slot = -1;
+            } else {
+                slot = cache_->insert(keys_[static_cast<size_t>(i)]);
+            }
+        } else if (cache_->scoreAt(slot, head_task_, epoch,
+                                   &scores[static_cast<size_t>(i)])) {
+            cache_->noteScoreHit();
+            continue;
+        } else {
+            cache_->noteFeatureHit();
+        }
+        if (slot >= 0)
+            claimed_[static_cast<size_t>(slot)] = 1;
+        pending_state_.push_back(i);
+        pending_slot_.push_back(slot);
+        pending_fresh_.push_back(fresh ? 1 : 0);
+    }
+    const auto pending = static_cast<int64_t>(pending_state_.size());
+    if (pending == 0)
+        return scores;
+
+    // Pass 3 (parallel): extract the fresh rows — into their cache slot,
+    // or directly into the batch buffer for bypassed candidates. A
+    // duplicated candidate elsewhere in `states` maps to the same slot
+    // as a feature hit, so row fills must complete before any slot is
+    // read — hence the separate gather pass below.
+    batch_.resize(static_cast<size_t>(pending) * dim);
+    ThreadPool::global().parallelFor(
+        0, pending, 1, [&](int64_t begin, int64_t end) {
+            for (int64_t p = begin; p < end; ++p) {
+                if (!pending_fresh_[static_cast<size_t>(p)])
+                    continue;
+                const int64_t slot =
+                    pending_slot_[static_cast<size_t>(p)];
+                feat::extractTlpFeaturesInto(
+                    states[static_cast<size_t>(
+                               pending_state_[static_cast<size_t>(p)])]
+                        .steps(),
+                    feature_options_,
+                    slot >= 0
+                        ? cache_->rowAt(slot)
+                        : batch_.data() + static_cast<size_t>(p) * dim);
             }
         });
-    auto set = featureOnlySet(std::move(features),
-                              static_cast<int>(states.size()),
-                              static_cast<int>(dim));
-    // One forward over the whole population (split only beyond the
-    // activation-memory cap), instead of per-candidate forwards.
-    return predictTlpNet(*net_, set, head_task_,
-                         std::min(set.rows, kMaxForwardBatch));
+
+    // Pass 4 (parallel): gather cached pending rows into the batch.
+    ThreadPool::global().parallelFor(
+        0, pending, 1, [&](int64_t begin, int64_t end) {
+            for (int64_t p = begin; p < end; ++p) {
+                const int64_t slot =
+                    pending_slot_[static_cast<size_t>(p)];
+                if (slot < 0)
+                    continue;
+                std::memcpy(batch_.data() + static_cast<size_t>(p) * dim,
+                            cache_->rowAt(slot), dim * sizeof(float));
+            }
+        });
+
+    // Forward the pending subset. Rows are independent through the
+    // whole net, so scoring the subset equals scoring it inside the
+    // full population — which is why cache hits cannot change bits.
+    if (fused_) {
+        forward_scores_.resize(static_cast<size_t>(pending));
+        fused_->predict(batch_.data(), pending, head_task_,
+                        forward_scores_.data());
+    } else {
+        forward_scores_ =
+            interpretedForward(batch_, static_cast<int>(pending));
+    }
+    for (int64_t p = 0; p < pending; ++p) {
+        const double score = forward_scores_[static_cast<size_t>(p)];
+        scores[static_cast<size_t>(
+            pending_state_[static_cast<size_t>(p)])] = score;
+        if (pending_slot_[static_cast<size_t>(p)] >= 0)
+            cache_->storeScore(pending_slot_[static_cast<size_t>(p)],
+                               head_task_, epoch, score);
+    }
+    return scores;
 }
 
 TensetMlpCostModel::TensetMlpCostModel(std::shared_ptr<TensetMlpNet> net)

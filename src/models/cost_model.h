@@ -20,12 +20,41 @@
 #include <string>
 
 #include "features/tlp_features.h"
+#include "models/feature_cache.h"
+#include "models/fused_infer.h"
 #include "models/gbdt.h"
 #include "models/tenset_mlp.h"
 #include "models/tlp_model.h"
 #include "schedule/state.h"
 
 namespace tlp::model {
+
+/**
+ * Inference hot-path configuration of TlpCostModel (DESIGN.md §13).
+ * Both accelerators are value-neutral: any combination of flags
+ * predicts bit-identically; they only change speed. Defaults come from
+ * the environment so every entry point (tuner, service, benches) picks
+ * them up uniformly.
+ */
+struct TlpInferOptions
+{
+    /** Use the packed fused forward (FusedTlpInference) instead of the
+     *  interpreted autograd forward. Ignored for LSTM backbones. */
+    bool fused = true;
+    /** Feature/score cache entries; 0 disables the cache entirely. */
+    int64_t cache_capacity = 4096;
+
+    /** TLP_FUSED_INFER (0 disables) and TLP_FEATURE_CACHE (entry
+     *  count; 0 disables) override the defaults above. */
+    static TlpInferOptions fromEnv();
+
+    /** Both accelerators off — the pre-§13 interpreted path. */
+    static TlpInferOptions
+    legacy()
+    {
+        return {false, 0};
+    }
+};
 
 /** Abstract cost model used by the search loop. */
 class CostModel
@@ -81,7 +110,8 @@ class TlpCostModel : public CostModel
   public:
     TlpCostModel(std::shared_ptr<TlpNet> net,
                  feat::TlpFeatureOptions feature_options = {},
-                 int head_task = 0);
+                 int head_task = 0,
+                 TlpInferOptions infer_options = TlpInferOptions::fromEnv());
 
     std::string name() const override { return "tlp"; }
     std::vector<double>
@@ -92,10 +122,36 @@ class TlpCostModel : public CostModel
         override;
     bool needsLowering() const override { return false; }
 
+    /** Cache accounting (zeros when the cache is disabled). */
+    FeatureCache::Stats cacheStats() const;
+
   private:
+    /** Content fingerprint of every net parameter: stale-score guard. */
+    uint64_t paramsFingerprint() const;
+
+    std::vector<double>
+    interpretedForward(const std::vector<float> &features, int rows);
+
     std::shared_ptr<TlpNet> net_;
     feat::TlpFeatureOptions feature_options_;
     int head_task_;
+    TlpInferOptions infer_options_;
+    /** The net's parameter handles, gathered once: Tensors share their
+     *  node, so value() always reads the live weights, and the per-call
+     *  fingerprint walk stays allocation-free. */
+    std::vector<nn::Tensor> params_;
+    std::unique_ptr<FusedTlpInference> fused_;
+    std::unique_ptr<FeatureCache> cache_;
+    uint64_t packed_epoch_ = 0;   ///< fingerprint fused_ was packed at
+    // Reused per-call scratch (capacity is retained across calls, so
+    // the steady state never reallocates).
+    std::vector<SeqKey> keys_;
+    std::vector<float> batch_;
+    std::vector<int64_t> pending_state_;
+    std::vector<int64_t> pending_slot_;
+    std::vector<uint8_t> pending_fresh_;
+    std::vector<uint8_t> claimed_;   ///< cache slots this batch reads
+    std::vector<double> forward_scores_;
 };
 
 /** TenSet MLP cost model (offline-pretrained, Ansor features). */

@@ -14,34 +14,11 @@ constexpr int64_t kKBlock = 64;
 /** I-block size for the transposed update (dC panel reuse). */
 constexpr int64_t kIBlock = 64;
 
-/**
- * Serial micro-kernel: C rows [i0, i1) of C = A * B, k-blocked.
- * Per output element the k accumulation order is globally increasing
- * (blocks in order, in-block in order) — identical to naive i-k-j.
- */
-void
-gemmRows(const float *a, const float *b, float *c, int64_t i0, int64_t i1,
-         int64_t k, int64_t n)
-{
-    std::fill(c + i0 * n, c + i1 * n, 0.0f);
-    for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
-        const int64_t p1 = std::min(k, p0 + kKBlock);
-        for (int64_t i = i0; i < i1; ++i) {
-            float *crow = c + i * n;
-            for (int64_t p = p0; p < p1; ++p) {
-                const float aval = a[i * k + p];
-                const float *brow = b + p * n;
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += aval * brow[j];
-            }
-        }
-    }
-}
-
 /** Serial micro-kernel: GA rows [i0, i1) of GA += GC * B^T. */
 void
-gemmNTRows(const float *gc, const float *b, float *ga, int64_t i0,
-           int64_t i1, int64_t k, int64_t n)
+gemmNTRows(const float *TLP_RESTRICT gc, const float *TLP_RESTRICT b,
+           float *TLP_RESTRICT ga, int64_t i0, int64_t i1, int64_t k,
+           int64_t n)
 {
     for (int64_t i = i0; i < i1; ++i) {
         const float *gcrow = gc + i * n;
@@ -61,14 +38,37 @@ gemmNTRows(const float *gc, const float *b, float *ga, int64_t i0,
  * the naive i-outer loop it replaced.
  */
 void
-gemmTNRows(const float *a, const float *gc, float *gb, int64_t p0,
-           int64_t p1, int64_t m, int64_t k, int64_t n)
+gemmTNRows(const float *TLP_RESTRICT a, const float *TLP_RESTRICT gc,
+           float *TLP_RESTRICT gb, int64_t p0, int64_t p1, int64_t m,
+           int64_t k, int64_t n)
 {
     for (int64_t i0 = 0; i0 < m; i0 += kIBlock) {
         const int64_t i1 = std::min(m, i0 + kIBlock);
         for (int64_t p = p0; p < p1; ++p) {
-            float *gbrow = gb + p * n;
-            for (int64_t i = i0; i < i1; ++i) {
+            float *TLP_RESTRICT gbrow = gb + p * n;
+            int64_t i = i0;
+            for (; i + 4 <= i1; i += 4) {
+                const float a0 = a[(i + 0) * k + p];
+                const float a1 = a[(i + 1) * k + p];
+                const float a2 = a[(i + 2) * k + p];
+                const float a3 = a[(i + 3) * k + p];
+                const float *g0 = gc + (i + 0) * n;
+                const float *g1 = gc + (i + 1) * n;
+                const float *g2 = gc + (i + 2) * n;
+                const float *g3 = gc + (i + 3) * n;
+                // One sequential accumulator chain per element: the
+                // float addition order is exactly the unrolled-by-1
+                // loop's, just with the gbrow load/store hoisted.
+                for (int64_t j = 0; j < n; ++j) {
+                    float acc = gbrow[j];
+                    acc += a0 * g0[j];
+                    acc += a1 * g1[j];
+                    acc += a2 * g2[j];
+                    acc += a3 * g3[j];
+                    gbrow[j] = acc;
+                }
+            }
+            for (; i < i1; ++i) {
                 const float aval = a[i * k + p];
                 const float *gcrow = gc + i * n;
                 for (int64_t j = 0; j < n; ++j)
@@ -85,6 +85,49 @@ rowGrain(int64_t work_per_row)
 {
     return std::max<int64_t>(
         1, kParallelGrainWork / std::max<int64_t>(1, work_per_row));
+}
+
+void
+gemmRows(const float *TLP_RESTRICT a, const float *TLP_RESTRICT b,
+         float *TLP_RESTRICT c, int64_t i0, int64_t i1, int64_t k,
+         int64_t n)
+{
+    std::fill(c + i0 * n, c + i1 * n, 0.0f);
+    for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+        const int64_t p1 = std::min(k, p0 + kKBlock);
+        for (int64_t i = i0; i < i1; ++i) {
+            float *TLP_RESTRICT crow = c + i * n;
+            const float *arow = a + i * k;
+            int64_t p = p0;
+            for (; p + 4 <= p1; p += 4) {
+                const float a0 = arow[p + 0];
+                const float a1 = arow[p + 1];
+                const float a2 = arow[p + 2];
+                const float a3 = arow[p + 3];
+                const float *b0 = b + (p + 0) * n;
+                const float *b1 = b + (p + 1) * n;
+                const float *b2 = b + (p + 2) * n;
+                const float *b3 = b + (p + 3) * n;
+                // Sequential accumulator chain: same float op order as
+                // four single-p iterations, but the C row stays in
+                // registers across four FMA streams.
+                for (int64_t j = 0; j < n; ++j) {
+                    float acc = crow[j];
+                    acc += a0 * b0[j];
+                    acc += a1 * b1[j];
+                    acc += a2 * b2[j];
+                    acc += a3 * b3[j];
+                    crow[j] = acc;
+                }
+            }
+            for (; p < p1; ++p) {
+                const float aval = arow[p];
+                const float *brow = b + p * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += aval * brow[j];
+            }
+        }
+    }
 }
 
 void

@@ -10,14 +10,31 @@
  * thread count (no atomics, no cross-thread reductions) and to the
  * original scalar code.
  *
- * The scalar micro-kernels are plain i-k-j loops with the A element
- * hoisted, which the compiler auto-vectorizes over the unit-stride j
- * dimension; blocking over k (and i for the transposed update) keeps
- * the streamed B / dC panels resident in L1.
+ * The serial micro-kernels take `__restrict`-qualified pointers (the
+ * operands never alias) and unroll the k panel four-wide with a single
+ * sequential accumulator chain per output element — the compiler keeps
+ * the C row in registers/vectors across four FMA streams instead of a
+ * load/store per multiply, without reordering any float addition.
+ *
+ * The forward micro-kernels (gemmRows / bmm's per-batch body) are
+ * exported and marked noinline: the fused inference path (nn/infer_ops,
+ * models/fused_infer) calls the *same machine code* as the autograd
+ * ops, which is what makes "fused forward == interpreted forward" an
+ * exact bitwise statement instead of a numerical-tolerance one.
  */
 #pragma once
 
 #include <cstdint>
+
+/** Non-aliasing pointer qualifier (GCC/Clang/MSVC spelling). */
+#define TLP_RESTRICT __restrict
+
+/** Force one shared code instance for bit-identity across call sites. */
+#if defined(__GNUC__) || defined(__clang__)
+#define TLP_NOINLINE __attribute__((noinline))
+#else
+#define TLP_NOINLINE
+#endif
 
 namespace tlp::nn::kern {
 
@@ -29,6 +46,18 @@ constexpr int64_t kParallelGrainWork = 16 * 1024;
 
 /** Rows per chunk so each chunk holds ~kParallelGrainWork scalar ops. */
 int64_t rowGrain(int64_t work_per_row);
+
+/**
+ * Serial micro-kernel: rows [i0, i1) of C[m, n] = A[m, k] * B[k, n],
+ * k-blocked, C fully overwritten. Per output element the k accumulation
+ * order is globally increasing — identical to naive i-k-j. Exported
+ * (and never inlined) so the fused inference path reuses this exact
+ * code; all three operands must be disjoint.
+ */
+TLP_NOINLINE void gemmRows(const float *TLP_RESTRICT a,
+                           const float *TLP_RESTRICT b,
+                           float *TLP_RESTRICT c, int64_t i0, int64_t i1,
+                           int64_t k, int64_t n);
 
 /** C[m, n] = A[m, k] * B[k, n] (C fully overwritten). */
 void gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,

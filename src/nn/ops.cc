@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/infer_ops.h"
 #include "nn/kernels.h"
 #include "support/thread_pool.h"
 
@@ -277,23 +278,11 @@ softmaxLastDim(const Tensor &x)
     const float *xv = x.value().data();
     float *outv = node->value.data();
     const int64_t rows_c = rows, cols_c = cols;
-    // exp() dominates the row cost; weight the grain accordingly.
+    // exp() dominates the row cost; weight the grain accordingly. The
+    // row kernel is shared with the fused inference path (infer_ops.h)
+    // so both forwards are literally the same compiled code.
     parallelRows(rows_c, 8 * cols_c, [=](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
-            const float *in = xv + r * cols_c;
-            float *out = outv + r * cols_c;
-            float max_v = in[0];
-            for (int64_t c = 1; c < cols_c; ++c)
-                max_v = std::max(max_v, in[c]);
-            float sum = 0.0f;
-            for (int64_t c = 0; c < cols_c; ++c) {
-                out[c] = std::exp(in[c] - max_v);
-                sum += out[c];
-            }
-            const float inv = 1.0f / sum;
-            for (int64_t c = 0; c < cols_c; ++c)
-                out[c] *= inv;
-        }
+        iops::softmaxRows(xv, outv, r0, r1, cols_c);
     });
     node->backward_fn = [rows_c, cols_c](Node &self) {
         float *gx = self.parents[0]->grad.data();
@@ -648,26 +637,11 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     float *outv = node->value.data();
     float *statv = stats->data();
     const int64_t rows_c = rows, cols_c = cols;
+    // Shared with the fused inference path (infer_ops.h): the affine
+    // epilogue contains a contractible multiply-add, so one compiled
+    // instance guarantees fused == interpreted bitwise.
     parallelRows(rows_c, 6 * cols_c, [=](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
-            const float *in = xv + r * cols_c;
-            float mean = 0.0f;
-            for (int64_t c = 0; c < cols_c; ++c)
-                mean += in[c];
-            mean /= static_cast<float>(cols_c);
-            float var = 0.0f;
-            for (int64_t c = 0; c < cols_c; ++c) {
-                const float d = in[c] - mean;
-                var += d * d;
-            }
-            var /= static_cast<float>(cols_c);
-            const float inv_std = 1.0f / std::sqrt(var + eps);
-            statv[2 * r] = mean;
-            statv[2 * r + 1] = inv_std;
-            float *out = outv + r * cols_c;
-            for (int64_t c = 0; c < cols_c; ++c)
-                out[c] = (in[c] - mean) * inv_std * gv[c] + bv[c];
-        }
+        iops::layerNormRows(xv, gv, bv, outv, statv, r0, r1, cols_c, eps);
     });
     node->backward_fn = [rows_c, cols_c, stats](Node &self) {
         float *gx = self.parents[0]->grad.data();

@@ -1,0 +1,86 @@
+#include "support/arena.h"
+
+#include <algorithm>
+
+namespace tlp {
+
+namespace {
+
+size_t
+alignUp(size_t value, size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena(size_t first_block_bytes)
+    : first_block_bytes_(std::max<size_t>(kAlign, first_block_bytes))
+{
+}
+
+void
+Arena::grow(size_t min_bytes)
+{
+    // Geometric growth amortizes the block count; the steady state never
+    // reaches here again once the high-water mark has been touched.
+    size_t size = std::max(first_block_bytes_, min_bytes);
+    if (!blocks_.empty())
+        size = std::max(size, blocks_.back().size * 2);
+    Block block;
+    // The arena's own block growth is the one place scratch memory may
+    // come from the heap, and it stops firing once the high-water mark
+    // is reached.
+    // tlp-lint: allow(hot-alloc) -- arena warm-up block allocation.
+    block.storage = std::make_unique<std::byte[]>(size + kAlign);
+    const auto addr = reinterpret_cast<uintptr_t>(block.storage.get());
+    const uintptr_t aligned = alignUp(addr, kAlign);
+    block.base = block.storage.get() + (aligned - addr);
+    block.size = size;
+    reserved_ += size;
+    // tlp-lint: allow(hot-alloc) -- arena warm-up block-list growth.
+    blocks_.push_back(std::move(block));
+    active_ = blocks_.size() - 1;
+}
+
+void *
+Arena::allocBytes(size_t bytes)
+{
+    const size_t granted = std::max<size_t>(alignUp(bytes, kAlign), kAlign);
+    // Advance through already-owned blocks before growing: after a
+    // rewind the early blocks are empty again and must be reused.
+    while (!blocks_.empty() && active_ < blocks_.size() &&
+           blocks_[active_].used + granted > blocks_[active_].size) {
+        if (active_ + 1 >= blocks_.size())
+            break;
+        ++active_;
+        TLP_CHECK(blocks_[active_].used == 0,
+                  "arena cursor advanced onto a dirty block");
+    }
+    if (blocks_.empty() ||
+        blocks_[active_].used + granted > blocks_[active_].size)
+        grow(granted);
+    Block &block = blocks_[active_];
+    void *out = block.base + block.used;
+    block.used += granted;
+    live_ += granted;
+    high_water_ = std::max(high_water_, live_);
+    return out;
+}
+
+void
+Arena::rewind(const Mark &mark)
+{
+    if (blocks_.empty())
+        return;
+    TLP_CHECK(mark.block < blocks_.size(), "rewind past the arena");
+    for (size_t b = mark.block + 1; b < blocks_.size(); ++b)
+        blocks_[b].used = 0;
+    blocks_[mark.block].used = mark.used;
+    active_ = mark.block;
+    live_ = mark.used;
+    for (size_t b = 0; b < mark.block; ++b)
+        live_ += blocks_[b].used;
+}
+
+} // namespace tlp

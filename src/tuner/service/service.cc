@@ -168,7 +168,9 @@ TuningService::instantiate(Slot &slot)
       case ModelKind::GuardedTlp:
         if (tlp_net_) {
             slot.base_model = model::makeGuardedLadder(
-                std::make_shared<model::TlpCostModel>(tlp_net_));
+                std::make_shared<model::TlpCostModel>(
+                    tlp_net_, feat::TlpFeatureOptions{}, 0,
+                    options_.tlp_infer));
         } else {
             // No snapshot installed (yet): degrade to the ansor-topped
             // ladder rather than refusing the session.

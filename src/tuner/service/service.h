@@ -151,6 +151,10 @@ struct ServiceOptions
     int backoff_base_ticks = 1;
     int backoff_cap_ticks = 8;
     ServiceFaultProfile faults;
+    /** Inference hot-path configuration handed to every GuardedTlp
+     *  session's TlpCostModel (DESIGN.md §13). Value-neutral: any
+     *  setting yields the same curves, only a different speed. */
+    model::TlpInferOptions tlp_infer = model::TlpInferOptions::fromEnv();
     bool verbose = false;
 };
 

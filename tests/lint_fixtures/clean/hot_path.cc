@@ -1,0 +1,20 @@
+// Declared hot-tu in the manifest: arithmetic over caller-provided and
+// arena-style storage stays clean, and the one construction-time sizing
+// carries an audited suppression that must count as used.
+void
+scoreRows(const float *features, float *out, long rows, long dim)
+{
+    for (long r = 0; r < rows; ++r) {
+        float acc = 0.0f;
+        for (long d = 0; d < dim; ++d)
+            acc += features[r * dim + d];
+        out[r] = acc;
+    }
+}
+
+void
+sizeOnce(Slab &slab, long capacity)
+{
+    // tlp-lint: allow(hot-alloc) -- fixture: one-time construction sizing
+    slab.storage.resize(capacity);
+}

@@ -1,0 +1,15 @@
+// Declared hot-tu in the manifest: every heap allocation below must
+// produce a hot-alloc finding.
+#include <memory>
+#include <vector>
+
+void
+scoreOne(std::vector<float> &scratch, int n)
+{
+    scratch.resize(n);
+    scratch.push_back(1.0f);
+    auto owned = std::make_unique<float[]>(16);
+    float *raw = new float[8];
+    delete[] raw;
+    (void)owned;
+}

@@ -48,6 +48,7 @@ forbid-include src/features/tlp_features -> schedule/lower.h
 require-include src/features/ansor_features -> schedule/lower.h
 loader-tu src/loader.cc
 serialize-consumer src/consumer.cc
+hot-tu src/hot.cc
 allow-wallclock bench/timing.cc
 )";
     auto result = parseManifest(text);
@@ -137,6 +138,7 @@ TEST(LintManifest, ParsesDirectives)
     ASSERT_EQ(m.forbid_includes.size(), 1u);
     EXPECT_EQ(m.forbid_includes[0].second, "schedule/lower.h");
     EXPECT_TRUE(m.loader_tus.count("src/loader.cc"));
+    EXPECT_TRUE(m.hot_tus.count("src/hot.cc"));
 }
 
 TEST(LintManifest, UnknownDirectiveFailsWithLineNumber)
@@ -345,6 +347,42 @@ void parse(BinaryReader &r, std::vector<float> &v)
     EXPECT_TRUE(lintFile("src/consumer.cc", from_size, m).empty());
 }
 
+TEST(LintRules, HotAllocFlaggedOnlyInHotTus)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+void warm(std::vector<float> &v)
+{
+    v.resize(64);
+    v.push_back(1.0f);
+    auto p = std::make_unique<float[]>(8);
+    float *q = new float[4];
+}
+)";
+    // Four allocations, four findings — but only in the declared hot TU.
+    const auto findings = lintFile("src/hot.cc", text, m);
+    EXPECT_EQ(findings.size(), 4u);
+    EXPECT_EQ(ruleSet(findings),
+              std::set<std::string>{"hot-alloc"});
+    EXPECT_TRUE(lintFile("src/support/cold.cc", text, m).empty());
+
+    // Pure arithmetic over caller-provided storage stays clean, and a
+    // construction-time sizing passes with an audited suppression.
+    const char *clean = R"(
+void score(const float *x, float *out, long n)
+{
+    for (long i = 0; i < n; ++i)
+        out[i] = x[i] * 2.0f;
+}
+void sizeOnce(Slab &slab, long capacity)
+{
+    // tlp-lint: allow(hot-alloc) -- one-time construction sizing
+    slab.storage.resize(capacity);
+}
+)";
+    EXPECT_TRUE(lintFile("src/hot.cc", clean, m).empty());
+}
+
 // --- hygiene rules ------------------------------------------------------
 
 TEST(LintRules, PragmaOnceRequiredInHeaders)
@@ -465,8 +503,8 @@ TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyWhereExpected)
         "rand",          "random-device",    "std-engine",
         "wallclock",     "layering",         "include-forbidden",
         "include-required", "loader-fatal",  "unbounded-alloc",
-        "pragma-once",   "float-eq",         "member-underscore",
-        "unused-suppression", "bad-suppression",
+        "hot-alloc",     "pragma-once",      "float-eq",
+        "member-underscore", "unused-suppression", "bad-suppression",
     };
     EXPECT_EQ(ruleSet(report.value().findings), expected);
 

@@ -371,6 +371,72 @@ TEST(Service, SnapshotHotSwapProbesHealth)
     EXPECT_EQ(service.status("s000"), SessionStatus::Finished);
 }
 
+TEST(Service, InferenceHotPathNeverPerturbsCurves)
+{
+    // DESIGN.md §13: the fused forward and the feature/score cache are
+    // pure accelerators. A guarded-tlp fleet must produce byte-identical
+    // curve files with them on or off — including when the accelerated
+    // fleet is killed mid-run and recovered from checkpoints (a
+    // recovered session restarts with a cold cache, which may only
+    // change speed, never values).
+    auto fleet = quickFleet(4);
+    for (SessionSpec &spec : fleet) {
+        spec.model = ModelKind::GuardedTlp;
+        spec.tune.rounds = 3;
+    }
+    model::TlpNetConfig config;
+    config.hidden = 16;
+    config.head_hidden = 16;
+    config.residual_blocks = 1;
+    Rng rng(13);
+    model::TlpNet net(config, rng);
+    const std::string snap = scratchDir("infer_snap") + "/tlp.snap";
+    fs::create_directories(fs::path(snap).parent_path());
+    ASSERT_TRUE(model::saveTlpSnapshot(snap, net).ok());
+
+    // Golden: legacy inference (interpreted forward, no cache).
+    const std::string legacy_dir = scratchDir("infer_legacy");
+    std::vector<tune::TuneResult> golden;
+    {
+        ServiceOptions options = quickService(legacy_dir, 4);
+        options.tlp_infer = model::TlpInferOptions::legacy();
+        TuningService service(options);
+        ASSERT_TRUE(service.swapModel(snap).ok());
+        service.recover(fleet);
+        service.runUntilIdle();
+        ASSERT_TRUE(service.idle());
+        for (const SessionSpec &spec : fleet)
+            golden.push_back(service.result(spec.name));
+    }
+
+    // Accelerated: fused + cached, killed twice and recovered.
+    const std::string fast_dir = scratchDir("infer_fast");
+    ServiceOptions fast_options = quickService(fast_dir, 4);
+    fast_options.tlp_infer = model::TlpInferOptions{true, 512};
+    for (int64_t kill_ticks : {7, 5}) {
+        TuningService service(fast_options);
+        ASSERT_TRUE(service.swapModel(snap).ok());
+        service.recover(fleet);
+        service.runUntilIdle(kill_ticks);
+        // destroyed here, mid-run: the "kill"
+    }
+    TuningService service(fast_options);
+    ASSERT_TRUE(service.swapModel(snap).ok());
+    const auto report = service.recover(fleet);
+    EXPECT_EQ(report.quarantined, 0);
+    service.runUntilIdle();
+    ASSERT_TRUE(service.idle());
+
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        const std::string &name = fleet[i].name;
+        ASSERT_EQ(service.status(name), SessionStatus::Finished);
+        expectSameCurve(golden[i], service.result(name), name);
+        EXPECT_EQ(readFile(legacy_dir + "/" + name + ".curve"),
+                  readFile(fast_dir + "/" + name + ".curve"))
+            << name;
+    }
+}
+
 TEST(Service, ModelKindNamesRoundTrip)
 {
     for (const ModelKind kind :

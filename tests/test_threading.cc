@@ -286,5 +286,50 @@ TEST(BitIdentical, PredictBatchMatchesScoreStatesAtAnyThreadCount)
     EXPECT_EQ(runs[0], runs[2]);
 }
 
+TEST(BitIdentical, FusedAndCachedInferenceAtAnyThreadCount)
+{
+    // The §13 hot path: every (fused, cache) combination must predict
+    // the interpreted single-thread bits at any thread count — with the
+    // cache warm (second call) as well as cold.
+    const ir::Workload workload =
+        ir::partitionGraph(ir::buildNetwork("mlp-mixer"));
+    Rng rng(110);
+    sketch::SchedulePolicy policy(workload.subgraphs[0], false);
+    const auto states = policy.sampleInitPopulation(48, rng);
+    ASSERT_FALSE(states.empty());
+
+    Rng net_rng(111);
+    model::TlpNetConfig config;
+    config.hidden = 32;
+    config.heads = 4;
+    auto net = std::make_shared<model::TlpNet>(config, net_rng);
+
+    const auto runs = runAtThreadCounts([&] {
+        std::vector<std::vector<float>> out;
+        for (const auto &options :
+             {model::TlpInferOptions::legacy(),
+              model::TlpInferOptions{true, 0},
+              model::TlpInferOptions{false, 256},
+              model::TlpInferOptions{true, 256}}) {
+            model::TlpCostModel cost_model(net, {}, 0, options);
+            const auto cold = cost_model.predictBatch(0, states);
+            const auto warm = cost_model.predictBatch(0, states);
+            EXPECT_EQ(cold, warm);
+            std::vector<float> row;
+            for (double s : cold)
+                row.push_back(static_cast<float>(s));
+            out.push_back(std::move(row));
+        }
+        // All four option combinations agree with each other...
+        EXPECT_EQ(out[0], out[1]);
+        EXPECT_EQ(out[0], out[2]);
+        EXPECT_EQ(out[0], out[3]);
+        return out;
+    });
+    // ...and with themselves across thread counts.
+    EXPECT_EQ(runs[0], runs[1]);
+    EXPECT_EQ(runs[0], runs[2]);
+}
+
 } // namespace
 } // namespace tlp

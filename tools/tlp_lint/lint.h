@@ -40,6 +40,12 @@
  *                      return Status / Result<T> (`loader-tu`)
  *   unbounded-alloc    resize/reserve in a `serialize-consumer` TU with no
  *                      remaining-bytes check in the preceding lines
+ *   hot-alloc          heap allocation (new, make_unique/make_shared,
+ *                      malloc, or container growth) in a `hot-tu` TU; the
+ *                      scoring hot path (DESIGN.md §13) must draw scratch
+ *                      from an Arena or storage preallocated at
+ *                      construction — one-time sizing carries an audited
+ *                      suppression
  *   pragma-once        header missing #pragma once
  *   float-eq           == / != against a floating-point literal (NaN-label
  *                      hazard; use std::isnan or an epsilon)
@@ -123,6 +129,8 @@ struct Manifest
     std::set<std::string> loader_tus;
     /** TUs whose resize/reserve must sit near a bound check. */
     std::set<std::string> serialize_consumers;
+    /** Hot-path TUs (DESIGN.md §13): no unaudited heap allocation. */
+    std::set<std::string> hot_tus;
 };
 
 /**

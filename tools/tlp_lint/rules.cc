@@ -88,7 +88,8 @@ parseManifest(const std::string &text)
         const std::string &directive = tokens[0];
 
         if (directive == "exclude" || directive == "allow-wallclock" ||
-            directive == "loader-tu" || directive == "serialize-consumer") {
+            directive == "loader-tu" ||
+            directive == "serialize-consumer" || directive == "hot-tu") {
             if (tokens.size() != 2) {
                 return manifestError(lineno, directive +
                                                  " expects exactly one "
@@ -101,6 +102,8 @@ parseManifest(const std::string &text)
                 manifest.wallclock_allow.push_back(path);
             else if (directive == "loader-tu")
                 manifest.loader_tus.insert(path);
+            else if (directive == "hot-tu")
+                manifest.hot_tus.insert(path);
             else
                 manifest.serialize_consumers.insert(path);
             continue;
@@ -573,6 +576,24 @@ lintFile(const std::string &rel_path, const std::string &text,
                 add(static_cast<int>(li) + 1, "unbounded-alloc",
                     "resize/reserve in a serialize-consumer TU with no "
                     "remaining-bytes check in the preceding 10 lines");
+            }
+        }
+    }
+    if (manifest.hot_tus.count(rel_path)) {
+        // The steady-state scoring path (DESIGN.md §13) must not touch
+        // the heap: scratch comes from an Arena, persistent storage is
+        // sized once at construction. One-time warm-up growth carries an
+        // audited suppression.
+        static const std::regex hot_alloc(
+            R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<)"
+            R"(|\b(malloc|calloc|realloc)\s*\()"
+            R"(|\.(push_back|emplace_back|resize|reserve|insert|assign)\s*\()");
+        for (size_t li = 0; li < src.code.size(); ++li) {
+            if (std::regex_search(src.code[li], hot_alloc)) {
+                add(static_cast<int>(li) + 1, "hot-alloc",
+                    "heap allocation in a hot TU (DESIGN.md §13): use "
+                    "the Arena / preallocated storage, or audit "
+                    "one-time sizing with a suppression");
             }
         }
     }
