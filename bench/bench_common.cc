@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "ir/model_zoo.h"
@@ -9,6 +10,7 @@
 #include "models/cost_model.h"
 #include "schedule/lower.h"
 #include "sketch/policy.h"
+#include "support/io_env.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/str_util.h"
@@ -140,17 +142,19 @@ standardDataset(const std::vector<std::string> &platforms, bool is_gpu)
     // a corrupt, truncated, or version-skewed file) regenerates instead
     // of serving stale labels or crashing.
     const uint64_t fingerprint = collectionFingerprint(options);
-    {
-        std::ifstream is(path, std::ios::binary);
-        if (is) {
-            Result<data::Dataset> memo = loadBenchMemo(is, fingerprint);
-            if (memo.ok())
-                return memo.take();
-            inform("bench memo ", path, " unusable (",
-                   memo.status().toString(), "); regenerating");
-        }
+    std::error_code exists_ec;
+    if (std::filesystem::exists(path, exists_ec)) {
+        Result<data::Dataset> memo = loadBenchMemo(path, fingerprint);
+        if (memo.ok())
+            return memo.take();
+        inform("bench memo ", path, " unusable (",
+               memo.status().toString(), "); regenerating");
     }
 
+    // Regeneration is also the moment to reap temp files a crashed
+    // bench stranded next to this memo (scoped to this artifact: /tmp
+    // is shared, a directory-wide sweep could race live writers).
+    sweepStaleTempsFor(path);
     data::Dataset dataset = data::collectDataset(options);
     const Status status = writeBenchMemo(path, fingerprint, dataset);
     if (!status.ok()) {
@@ -202,6 +206,9 @@ loadBenchMemo(std::istream &is, uint64_t fingerprint)
 Result<data::Dataset>
 loadBenchMemo(const std::string &path, uint64_t fingerprint)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,

@@ -125,6 +125,7 @@ main()
             for (size_t i = bytes.size() / 2;
                  i < bytes.size() / 2 + 16 && i < bytes.size(); ++i)
                 bytes[i] = static_cast<char>(~bytes[i]);
+            // tlp-lint: allow(raw-io) -- deliberately plants a torn checkpoint; routing through the seam would defeat the drill
             std::ofstream os(path,
                              std::ios::binary | std::ios::trunc);
             os.write(bytes.data(),

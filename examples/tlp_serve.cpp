@@ -8,23 +8,29 @@
  *                  [--rounds 4] [--subgraphs 2] [--seed 1]
  *                  [--max-active 8] [--max-queued 16]
  *                  [--deadline 0] [--fault-rate 0] [--ticks 0]
+ *                  [--io-fault-rate 0] [--io-fault-seed N]
  *                  [--swap-model tlp.snap] [--threads 4]
  *
  * Runs a fleet of tuning sessions to completion, one round per tick,
  * writing per-session checkpoints (<name>.ckpt, every round) and final
  * curves (<name>.curve) under --dir. Recovery is automatic: rerunning
  * the same command after a kill -9 verifies the checkpoints left
- * behind, resumes every intact session, quarantines damaged ones
- * (renamed *.ckpt.quarantined), and converges to curve files
- * bit-identical to an uninterrupted run — the CI service-recovery step
- * diffs exactly that. --ticks > 0 stops after that many scheduler
- * ticks (a deterministic "kill"); --fault-rate injects seeded
- * transient faults that exercise the exponential-backoff path without
- * perturbing any curve.
+ * behind, sweeps stale atomic-write temps, resumes every intact
+ * session, quarantines damaged ones (renamed *.ckpt.quarantined.N,
+ * unique per generation), and converges to curve files bit-identical
+ * to an uninterrupted run — the CI service-recovery step diffs exactly
+ * that. --ticks > 0 stops after that many scheduler ticks (a
+ * deterministic "kill"); --fault-rate injects seeded transient faults
+ * that exercise the exponential-backoff path; --io-fault-rate injects
+ * seeded disk faults (torn/failed checkpoint and curve writes, failed
+ * artifact reads; DESIGN.md §14) that exercise checkpoint-write
+ * retries and the checkpointless degraded mode — neither ever
+ * perturbs a curve.
  */
 #include <cstdio>
 
 #include "support/argparse.h"
+#include "support/io_env.h"
 #include "support/thread_pool.h"
 #include "tuner/service/service.h"
 
@@ -51,6 +57,12 @@ main(int argc, char **argv)
                    "per-session simulated-seconds deadline (0 = none)");
     args.addDouble("fault-rate", 0.0,
                    "seeded transient-fault rate in [0, 1)");
+    args.addDouble("io-fault-rate", 0.0,
+                   "seeded artifact I/O fault rate in [0, 1): torn/"
+                   "failed writes and failed reads (DESIGN.md §14; "
+                   "overrides TLP_IO_FAULT_RATE)");
+    args.addInt("io-fault-seed", 0xd15c,
+                "seed for the I/O fault schedule");
     args.addInt("ticks", 0,
                 "stop after N scheduler ticks (0 = run to idle)");
     args.addString("swap-model", "",
@@ -78,6 +90,21 @@ main(int argc, char **argv)
     const double fault_rate = args.getDouble("fault-rate");
     if (fault_rate < 0.0 || fault_rate >= 1.0)
         TLP_FATAL("--fault-rate must be in [0, 1), got ", fault_rate);
+    const double io_fault_rate = args.getDouble("io-fault-rate");
+    if (io_fault_rate < 0.0 || io_fault_rate >= 1.0)
+        TLP_FATAL("--io-fault-rate must be in [0, 1), got ",
+                  io_fault_rate);
+    if (io_fault_rate > 0.0) {
+        IoFaultProfile chaos;
+        chaos.fault_rate = io_fault_rate;
+        chaos.seed =
+            static_cast<uint64_t>(args.getInt("io-fault-seed"));
+        // Crash debris makes the drill strict: faults strand temp
+        // files exactly as a dying process would, and recover() must
+        // sweep them.
+        chaos.crash_debris = true;
+        IoEnv::global().setProfile(chaos);
+    }
     const auto kind = serve::parseModelKind(args.getString("model"));
     if (!kind.ok())
         TLP_FATAL(kind.status().message());
@@ -141,6 +168,19 @@ main(int argc, char **argv)
         std::printf("faults: %lld injected, %lld backoff ticks slept\n",
                     static_cast<long long>(stats.faults_injected),
                     static_cast<long long>(stats.backoff_ticks_slept));
+    }
+    if (io_fault_rate > 0.0 || stats.ckpt_write_failures > 0 ||
+        report.stale_temps_swept > 0) {
+        std::printf("io-chaos: %lld ckpt write failures, %lld retries "
+                    "(%lld ok), %lld checkpointless, %lld curve "
+                    "retries, %d stale temps swept\n",
+                    static_cast<long long>(stats.ckpt_write_failures),
+                    static_cast<long long>(stats.ckpt_retries),
+                    static_cast<long long>(stats.ckpt_retry_successes),
+                    static_cast<long long>(
+                        stats.checkpointless_sessions),
+                    static_cast<long long>(stats.curve_write_retries),
+                    report.stale_temps_swept);
     }
     if (!service.idle())
         std::printf("stopped by --ticks with work remaining\n");

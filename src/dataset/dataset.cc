@@ -5,6 +5,7 @@
 #include <set>
 
 #include "features/tlp_features.h"
+#include "support/io_env.h"
 #include "support/logging.h"
 
 namespace tlp::data {
@@ -324,6 +325,9 @@ Dataset::load(std::istream &is)
 Result<Dataset>
 Dataset::tryLoad(const std::string &path, const LoadOptions &options)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,

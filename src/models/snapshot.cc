@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+
+#include "support/io_env.h"
 #include <sstream>
 
 namespace tlp::model {
@@ -170,6 +172,9 @@ loadTlpSnapshot(std::istream &is)
 Result<std::shared_ptr<TlpNet>>
 loadTlpSnapshot(const std::string &path)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,
@@ -268,6 +273,9 @@ loadMlpSnapshot(std::istream &is)
 Result<std::shared_ptr<TensetMlpNet>>
 loadMlpSnapshot(const std::string &path)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,

@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "support/io_env.h"
+
 namespace tlp::model {
 
 namespace {
@@ -234,6 +236,9 @@ loadTrainCheckpoint(std::istream &is)
 Result<TrainCheckpoint>
 loadTrainCheckpoint(const std::string &path)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,

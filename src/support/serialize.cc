@@ -1,8 +1,11 @@
 #include "support/serialize.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdio>
+
+#include "support/io_env.h"
 
 #ifdef _WIN32
 #include <process.h>
@@ -187,6 +190,15 @@ Status
 atomicWriteFile(const std::string &path,
                 const std::function<void(std::ostream &)> &body)
 {
+    // Every artifact write consults the I/O chaos environment first
+    // (DESIGN.md §14): a drawn/armed fault fails the write at a precise
+    // point — before open, after byte k, at flush, or at rename — and
+    // in crash-debris mode leaves the temp file stranded exactly as a
+    // dying process would. The destination is never touched by a
+    // faulted write, injected or real.
+    IoEnv &env = IoEnv::global();
+    const IoFaultDecision fault = env.drawWrite(path);
+
     // The temp name is unique per process (pid) AND per call (atomic
     // counter), so two concurrent writers of the same destination —
     // e.g. two bench processes racing on one memo — can never stream
@@ -201,34 +213,89 @@ atomicWriteFile(const std::string &path,
     const std::string tmp_path =
         path + ".tmp." + std::to_string(pid) + "." +
         std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+
+    if (fault.kind == IoFaultKind::OpenFail) {
+        return Status::error(ErrorCode::IoError,
+                             "injected fault: cannot open for write: " +
+                                 tmp_path);
+    }
     {
         std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
         if (!os) {
             return Status::error(ErrorCode::IoError,
                                  "cannot open for write: " + tmp_path);
         }
-        try {
-            body(os);
-        } catch (const std::exception &error) {
+        if (fault.kind == IoFaultKind::None) {
+            try {
+                body(os);
+            } catch (const std::exception &error) {
+                os.close();
+                std::remove(tmp_path.c_str());
+                return Status::error(ErrorCode::IoError,
+                                     "write failed: " + tmp_path + ": " +
+                                         error.what());
+            }
+            os.flush();
+            if (!os.good()) {
+                os.close();
+                std::remove(tmp_path.c_str());
+                return Status::error(ErrorCode::IoError,
+                                     "write failed (disk full?): " +
+                                         tmp_path);
+            }
+        } else {
+            // Faulted write: buffer the payload so a torn write can
+            // stop at an exact byte k (a streaming fault could only
+            // tear at flush granularity).
+            std::ostringstream buffer(std::ios::binary);
+            try {
+                body(buffer);
+            } catch (const std::exception &error) {
+                os.close();
+                std::remove(tmp_path.c_str());
+                return Status::error(ErrorCode::IoError,
+                                     "write failed: " + tmp_path + ": " +
+                                         error.what());
+            }
+            const std::string payload = buffer.str();
+            size_t keep = payload.size();
+            if (fault.kind == IoFaultKind::TornWrite) {
+                keep = fault.torn_at >= 0
+                           ? std::min<size_t>(
+                                 static_cast<size_t>(fault.torn_at),
+                                 payload.size())
+                           : static_cast<size_t>(
+                                 fault.aux % (payload.size() + 1));
+            }
+            os.write(payload.data(),
+                     static_cast<std::streamsize>(keep));
+            os.flush();
             os.close();
-            std::remove(tmp_path.c_str());
-            return Status::error(ErrorCode::IoError,
-                                 "write failed: " + tmp_path + ": " +
-                                     error.what());
+            if (fault.kind == IoFaultKind::TornWrite ||
+                fault.kind == IoFaultKind::FlushFail) {
+                if (!fault.crash_debris)
+                    std::remove(tmp_path.c_str());
+                return Status::error(
+                    ErrorCode::IoError,
+                    std::string("injected fault: ") +
+                        ioFaultKindName(fault.kind) + ": " + tmp_path);
+            }
         }
-        os.flush();
-        if (!os.good()) {
-            os.close();
+    }
+    if (fault.kind == IoFaultKind::RenameFail) {
+        if (!fault.crash_debris)
             std::remove(tmp_path.c_str());
-            return Status::error(ErrorCode::IoError,
-                                 "write failed (disk full?): " + tmp_path);
-        }
+        return Status::error(ErrorCode::IoError,
+                             "injected fault: cannot move temp file "
+                             "into place: " +
+                                 path);
     }
     if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
         std::remove(tmp_path.c_str());
         return Status::error(ErrorCode::IoError,
                              "cannot move temp file into place: " + path);
     }
+    env.noteWriteCommitted();
     return Status();
 }
 

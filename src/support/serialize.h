@@ -279,6 +279,13 @@ guardedParse(Fn &&body)
  * concurrent writes of the same destination (across processes or
  * threads) safe: the final file is always exactly one writer's full
  * payload, never an interleaving.
+ *
+ * All artifact writes flow through here, which makes it the injection
+ * seam for the I/O chaos environment (support/io_env, DESIGN.md §14):
+ * an armed or drawn IoFaultDecision can fail the write before open,
+ * after an exact payload byte (torn write), at flush, or at rename —
+ * optionally leaving crash debris — and the previous contents of
+ * @p path survive every one of those faults.
  */
 Status atomicWriteFile(const std::string &path,
                        const std::function<void(std::ostream &)> &body);

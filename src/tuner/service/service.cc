@@ -8,6 +8,7 @@
 
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
+#include "support/io_env.h"
 #include "support/logging.h"
 
 namespace tlp::serve {
@@ -29,6 +30,16 @@ hashUniform(uint64_t key)
 {
     return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
 }
+
+/** Domain-separation salt for checkpoint-retry backoff jitter, so the
+ *  I/O schedule never correlates with the transient-fault schedule. */
+constexpr uint64_t kCkptBackoffSalt = 0xc4e47ull;
+
+/** Bounded retries for the final curve write: each attempt advances the
+ *  path's op counter in the chaos env, so under any fault_rate < 1 the
+ *  attempt count (and hence success) is a deterministic function of
+ *  (seed, path) — timing never enters. */
+constexpr int kCurveWriteRetries = 128;
 
 /** First @p keep subgraphs (and weights) of @p workload; 0 keeps all. */
 ir::Workload
@@ -243,6 +254,11 @@ RecoveryReport
 TuningService::recover(const std::vector<SessionSpec> &fleet)
 {
     RecoveryReport report;
+    // Reap "<name>.tmp.<pid>.<seq>" debris first: a crash between
+    // atomicWriteFile's open and rename strands temps forever, and the
+    // service owns its directory, so a directory-wide sweep is safe.
+    report.stale_temps_swept = sweepStaleTemps(options_.dir);
+    stats_.stale_temps_swept += report.stale_temps_swept;
     for (const SessionSpec &spec : fleet) {
         const std::string ckpt = checkpointPath(spec.name);
         const bool exists = std::filesystem::exists(ckpt);
@@ -254,12 +270,14 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
                 resume = true;
             } else {
                 // Damaged artifact: same meaning as CLI exit code 3,
-                // but a service quarantines and keeps serving.
-                const std::string jail = ckpt + ".quarantined";
-                std::error_code ec;
-                std::filesystem::rename(ckpt, jail, ec);
-                if (ec) {
-                    warn("cannot quarantine ", ckpt, ": ", ec.message());
+                // but a service quarantines and keeps serving. The
+                // unique .quarantined.N suffix keeps every generation
+                // of evidence.
+                const auto jail = quarantineArtifact(ckpt);
+                if (!jail.ok()) {
+                    warn("cannot quarantine ", ckpt, ": ",
+                         jail.status().toString());
+                    std::error_code ec;
                     std::filesystem::remove(ckpt, ec);
                 }
                 warn("quarantined damaged checkpoint ", ckpt, ": ",
@@ -279,9 +297,13 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
                 // Structurally valid but unusable for THIS spec (e.g.
                 // foreign configuration): quarantine and rebuild the
                 // session from round 0.
-                const std::string jail = ckpt + ".quarantined";
-                std::error_code ec;
-                std::filesystem::rename(ckpt, jail, ec);
+                const auto jail = quarantineArtifact(ckpt);
+                if (!jail.ok()) {
+                    warn("cannot quarantine ", ckpt, ": ",
+                         jail.status().toString());
+                    std::error_code ec;
+                    std::filesystem::remove(ckpt, ec);
+                }
                 warn("quarantined mismatched checkpoint ", ckpt, ": ",
                      status.toString());
                 outcome = RecoveryOutcome::Quarantined;
@@ -300,7 +322,8 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
         inform("recovery: ", report.recovered, " resumed, ",
                report.fresh, " fresh, ", report.quarantined,
                " quarantined, ", report.rounds_salvaged,
-               " rounds salvaged");
+               " rounds salvaged, ", report.stale_temps_swept,
+               " stale temps swept");
     }
     return report;
 }
@@ -343,11 +366,21 @@ TuningService::finalize(Slot &slot, SessionStatus terminal)
 
     const std::string text =
         formatCurveFile(slot.spec.name, terminal, slot.final_result);
-    const Status status = atomicWriteFile(
-        curvePath(slot.spec.name),
-        [&](std::ostream &os) { os.write(text.data(),
-                                         static_cast<std::streamsize>(
-                                             text.size())); });
+    // The curve is the drill's ground truth, so its write retries
+    // through injected faults (bounded; see kCurveWriteRetries) — the
+    // bytes are already final, retrying cannot change them.
+    Status status;
+    for (int attempt = 0; ; ++attempt) {
+        status = atomicWriteFile(
+            curvePath(slot.spec.name),
+            [&](std::ostream &os) {
+                os.write(text.data(),
+                         static_cast<std::streamsize>(text.size()));
+            });
+        if (status.ok() || attempt >= kCurveWriteRetries)
+            break;
+        stats_.curve_write_retries += 1;
+    }
     if (!status.ok())
         warn("cannot write curve file: ", status.toString());
     if (options_.verbose) {
@@ -357,6 +390,47 @@ TuningService::finalize(Slot &slot, SessionStatus terminal)
                slot.final_result.best_workload_latency_ms, " ms");
     }
     promoteQueued();
+}
+
+void
+TuningService::noteCheckpointFailure(Slot &slot, int64_t tick_now)
+{
+    stats_.ckpt_write_failures += 1;
+    slot.ckpt_failures += 1;
+    if (slot.ckpt_failures > options_.ckpt_retry_limit) {
+        // Degrade rather than stall: the session keeps tuning without
+        // persistence — a crash from here costs re-running rounds on
+        // the next recover(), never correctness, and the curve is
+        // untouched by construction.
+        slot.checkpointless = true;
+        slot.ckpt_retry_pending = false;
+        slot.session->setCheckpointingEnabled(false);
+        stats_.checkpointless_sessions += 1;
+        warn("session '", slot.spec.name,
+             "' entering checkpointless degraded mode after ",
+             slot.ckpt_failures, " failed checkpoint writes");
+        return;
+    }
+    // Same seeded exponential backoff as transient faults, salted so
+    // the two schedules stay independent.
+    const int shift = std::min(slot.ckpt_failures - 1, 20);
+    int64_t delay = static_cast<int64_t>(options_.backoff_base_ticks)
+                    << shift;
+    delay = std::min<int64_t>(delay, options_.backoff_cap_ticks);
+    delay += static_cast<int64_t>(
+        mix64(hashCombine(hashCombine(slot.key, kCkptBackoffSalt),
+                          static_cast<uint64_t>(slot.ckpt_failures))) %
+        2);
+    slot.ckpt_retry_pending = true;
+    slot.backoff_until_tick = tick_now + std::max<int64_t>(1, delay);
+    slot.status = SessionStatus::BackedOff;
+    stats_.backoff_ticks_slept += slot.backoff_until_tick - tick_now;
+    if (options_.verbose) {
+        inform("session '", slot.spec.name,
+               "' checkpoint write failed (attempt ",
+               slot.ckpt_failures, "); retrying in ",
+               slot.backoff_until_tick - tick_now, " ticks");
+    }
 }
 
 bool
@@ -388,6 +462,23 @@ TuningService::tick()
         return !idle();
     }
     Slot &slot = *picked;
+
+    // A backed-off checkpoint write retries BEFORE the session runs its
+    // next round (DESIGN.md §14): the round sequence pauses while the
+    // write is down, so the trajectory never notices the fault.
+    if (slot.ckpt_retry_pending) {
+        slot.ckpt_retry_pending = false;
+        stats_.ckpt_retries += 1;
+        const Status retried = slot.session->saveCheckpoint();
+        if (retried.ok()) {
+            stats_.ckpt_retry_successes += 1;
+            slot.ckpt_failures = 0;
+        } else {
+            noteCheckpointFailure(slot, tick_now);
+            if (slot.status == SessionStatus::BackedOff)
+                return !idle();
+        }
+    }
 
     // A session can arrive done (recovered from a checkpoint written
     // after its final round): finalize without re-running anything.
@@ -431,8 +522,17 @@ TuningService::tick()
     slot.fault_attempts = 0;
     const bool more = slot.session->step();
     stats_.rounds_run += 1;
-    if (!more)
+    if (!more) {
+        // The final curve write below supersedes any failed last
+        // checkpoint: once the curve lands, the checkpoint only saves
+        // re-running rounds that no longer exist.
         finalize(slot, SessionStatus::Finished);
+        return !idle();
+    }
+    if (!slot.checkpointless &&
+        !slot.session->lastCheckpointStatus().ok()) {
+        noteCheckpointFailure(slot, tick_now);
+    }
     return !idle();
 }
 

@@ -9,10 +9,15 @@
  * service composes with TLP_NUM_THREADS instead of nesting pools),
  * per-session simulated-seconds deadlines, seeded exponential backoff on
  * injected transient faults, model-snapshot hot-swap behind a health
- * probe, and crash-safe recovery: on restart the service re-adopts every
- * recoverable checkpoint in its directory, quarantines damaged ones
- * (renamed *.quarantined, never a process abort), and resumes each
- * session to a curve bit-identical to an uninterrupted run.
+ * probe, and crash-safe recovery: on restart the service sweeps stale
+ * atomic-write temp files, re-adopts every recoverable checkpoint in
+ * its directory, quarantines damaged ones (renamed *.quarantined.N,
+ * never a process abort, every generation of evidence kept), and
+ * resumes each session to a curve bit-identical to an uninterrupted
+ * run. Checkpoint-write failures degrade gracefully (DESIGN.md §14):
+ * seeded retry-with-backoff first, then a Checkpointless mode where
+ * the session keeps tuning without persistence — curves unchanged
+ * either way.
  *
  * Determinism contract: a session's trajectory depends only on its spec
  * (workload, platform, model kind, tune options, seed) — never on the
@@ -117,7 +122,7 @@ enum class RecoveryOutcome : uint8_t
 {
     Fresh = 0,    ///< no checkpoint on disk; started from round 0
     Recovered,    ///< checkpoint verified + resumed
-    Quarantined,  ///< damaged checkpoint renamed *.quarantined; fresh
+    Quarantined,  ///< damaged checkpoint renamed *.quarantined.N; fresh
 };
 
 /** Aggregate recover() report. */
@@ -128,6 +133,8 @@ struct RecoveryReport
     int quarantined = 0;
     /** Rounds that did not have to be re-run thanks to checkpoints. */
     int64_t rounds_salvaged = 0;
+    /** Stale atomic-write temp files reaped from the service dir. */
+    int stale_temps_swept = 0;
     /** Per-session outcome, keyed by spec name. */
     std::map<std::string, RecoveryOutcome> outcomes;
 };
@@ -150,6 +157,12 @@ struct ServiceOptions
      *  jitter tick. */
     int backoff_base_ticks = 1;
     int backoff_cap_ticks = 8;
+    /** Checkpoint-write failures tolerated per session before it
+     *  degrades to Checkpointless mode (DESIGN.md §14). Each failure
+     *  backs the session off (same seeded exponential schedule as
+     *  transient faults) and retries the write before the next round;
+     *  past the limit the session keeps tuning without persistence. */
+    int ckpt_retry_limit = 3;
     ServiceFaultProfile faults;
     /** Inference hot-path configuration handed to every GuardedTlp
      *  session's TlpCostModel (DESIGN.md §13). Value-neutral: any
@@ -174,6 +187,12 @@ struct ServiceStats
     int64_t deadline_expired = 0;
     int64_t snapshot_swaps = 0;
     int64_t snapshot_swap_failures = 0;
+    int64_t ckpt_write_failures = 0;   ///< failed checkpoint writes seen
+    int64_t ckpt_retries = 0;          ///< checkpoint writes retried
+    int64_t ckpt_retry_successes = 0;  ///< retries that landed
+    int64_t checkpointless_sessions = 0; ///< sessions degraded (ever)
+    int64_t curve_write_retries = 0;   ///< curve-file write retries
+    int64_t stale_temps_swept = 0;     ///< temp files reaped in recover()
 };
 
 /**
@@ -196,12 +215,14 @@ class TuningService
     AdmitOutcome submit(const SessionSpec &spec);
 
     /**
-     * Crash recovery: submit every spec of @p fleet, re-adopting
-     * checkpoints left in the service directory by a previous
-     * incarnation. Damaged checkpoints are quarantined (renamed
-     * "<file>.quarantined", mirroring the exit-3 artifact semantics
-     * without aborting the service) and their sessions restart fresh,
-     * so the fleet still converges to the golden curves.
+     * Crash recovery: sweep stale atomic-write temp files, then submit
+     * every spec of @p fleet, re-adopting checkpoints left in the
+     * service directory by a previous incarnation. Damaged checkpoints
+     * are quarantined (renamed "<file>.quarantined.N" with a unique N,
+     * mirroring the exit-3 artifact semantics without aborting the
+     * service and never overwriting earlier evidence) and their
+     * sessions restart fresh, so the fleet still converges to the
+     * golden curves.
      */
     RecoveryReport recover(const std::vector<SessionSpec> &fleet);
 
@@ -256,6 +277,9 @@ class TuningService
         std::unique_ptr<tune::TuningSession> session;
         int fault_attempts = 0;      ///< consecutive faults this round
         int64_t backoff_until_tick = 0;
+        int ckpt_failures = 0;       ///< consecutive failed ckpt writes
+        bool ckpt_retry_pending = false; ///< retry write at next wake
+        bool checkpointless = false; ///< degraded: persistence disabled
         tune::TuneResult final_result;
     };
 
@@ -267,6 +291,11 @@ class TuningService
 
     /** Finalize @p slot, write its curve file, promote the queue. */
     void finalize(Slot &slot, SessionStatus terminal);
+
+    /** Register a failed checkpoint write: back off and schedule a
+     *  retry, or degrade the session to Checkpointless past the limit
+     *  (DESIGN.md §14). Never touches tuning state. */
+    void noteCheckpointFailure(Slot &slot, int64_t tick_now);
 
     /** Move the oldest Queued slot into the freed active slot. */
     void promoteQueued();

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "schedule/lower.h"
+#include "support/io_env.h"
 #include "support/logging.h"
 
 namespace tlp::tune {
@@ -276,6 +277,9 @@ Result<CheckpointState>
 readCheckpointFile(const std::string &path, const uint64_t *expect_digest,
                    const size_t *expect_tasks, hw::Measurer *measurer)
 {
+    const Status injected = IoEnv::global().checkRead(path);
+    if (!injected.ok())
+        return injected;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::error(ErrorCode::IoError,
@@ -619,14 +623,16 @@ TuningSession::step()
     // candidates: with checkpoint_every = 1 the checkpoint after the
     // final round must always exist, so a crash before result emission
     // never re-measures a completed round on resume.
-    if (!options_.checkpoint_path.empty() &&
+    last_ckpt_status_ = Status();
+    if (checkpointing_enabled_ && !options_.checkpoint_path.empty() &&
         options_.checkpoint_every > 0 &&
         (rounds_done_ % options_.checkpoint_every == 0 ||
          rounds_done_ == options_.rounds)) {
-        const Status status = saveCheckpoint();
-        if (!status.ok()) {
+        last_ckpt_status_ = saveCheckpoint();
+        if (!last_ckpt_status_.ok()) {
+            ckpt_failures_ += 1;
             warn("checkpoint write skipped (previous checkpoint kept): ",
-                 status.toString());
+                 last_ckpt_status_.toString());
         }
     }
     return rounds_done_ < options_.rounds;

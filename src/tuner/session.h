@@ -192,6 +192,31 @@ class TuningSession
     /** Write a checkpoint immediately (step() handles the cadence). */
     Status saveCheckpoint() const;
 
+    /** Status of the cadence-triggered checkpoint write of the most
+     *  recent step(): Ok when none was due or it landed; the error
+     *  otherwise. A service observes this to retry/degrade without the
+     *  session's trajectory ever noticing (DESIGN.md §14). */
+    const Status &lastCheckpointStatus() const
+    {
+        return last_ckpt_status_;
+    }
+
+    /** Cadence-triggered checkpoint writes that failed so far. */
+    int64_t checkpointFailures() const { return ckpt_failures_; }
+
+    /**
+     * Enable/disable checkpoint writes at runtime — the service's
+     * Checkpointless degraded mode (DESIGN.md §14). Purely an I/O
+     * policy switch: tuning state, rng draws, and the curve are
+     * untouched; a crash while disabled costs re-running rounds on
+     * resume, never correctness.
+     */
+    void setCheckpointingEnabled(bool enabled)
+    {
+        checkpointing_enabled_ = enabled;
+    }
+    bool checkpointingEnabled() const { return checkpointing_enabled_; }
+
     /**
      * Finalize the result from the accumulated state and transition to
      * Finished (idempotent; also usable before the budget is exhausted,
@@ -243,6 +268,9 @@ class TuningSession
     Rng rng_;
     TuneResult result_;
     std::vector<RoundHistory> history_;
+    bool checkpointing_enabled_ = true;
+    Status last_ckpt_status_;
+    int64_t ckpt_failures_ = 0;
 };
 
 /** Tune @p workload on @p platform guided by @p cost_model. */

@@ -1,0 +1,14 @@
+// Fixture: a declared raw-io-exempt TU (the seam itself in a real
+// tree) may use ofstream/rename freely — this file must produce zero
+// findings even though the clean manifest scopes forbid-raw-io over
+// it.
+#include <cstdio>
+#include <fstream>
+
+void
+seamWrite(const char *path)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << "payload";
+    std::rename(path, "final.bin");
+}

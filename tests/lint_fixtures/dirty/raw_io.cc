@@ -1,0 +1,13 @@
+// Fixture: raw artifact I/O outside the io_env/serialize seam. Both
+// lines below must fire the raw-io rule (the manifest puts this TU
+// under a forbid-raw-io prefix with no exemption).
+#include <cstdio>
+#include <fstream>
+
+void
+writeArtifactTheWrongWay(const char *path)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << "torn";
+    std::rename(path, "elsewhere.bin");
+}

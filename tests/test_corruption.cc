@@ -15,7 +15,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
+#include <set>
 #include <sstream>
 
 #include "bench/bench_common.h"
@@ -25,7 +28,9 @@
 #include "models/cost_model.h"
 #include "models/snapshot.h"
 #include "models/supervisor.h"
+#include "support/io_env.h"
 #include "support/rng.h"
+#include "support/serialize.h"
 #include "tuner/session.h"
 
 namespace tlp {
@@ -44,6 +49,22 @@ goldenDataset()
         options.platforms = {"platinum-8272"};
         options.programs_per_subgraph = 48;   // > 256 records: 2+ chunks
         options.seed = 11;
+        return data::collectDataset(options);
+    }();
+    return dataset;
+}
+
+/** A second, smaller dataset: the "previous generation" in the
+ *  write-side crash drills (distinct bytes from the golden one). */
+const data::Dataset &
+tinyDataset()
+{
+    static const data::Dataset dataset = [] {
+        data::CollectOptions options;
+        options.networks = {"resnet-18"};
+        options.platforms = {"platinum-8272"};
+        options.programs_per_subgraph = 4;
+        options.seed = 12;
         return data::collectDataset(options);
     }();
     return dataset;
@@ -535,11 +556,11 @@ TEST(Corruption, CheckpointVersionSkewIsClean)
     }
 }
 
-TEST(Corruption, CheckpointV3StillLoads)
+/** Hand-built v3 checkpoint bytes (narrow curve points, no phase byte);
+ *  a valid-but-different artifact for skew and crash-drill tests. */
+std::string
+v3CheckpointBytes()
 {
-    // Hand-build a v3 checkpoint (narrow 24-byte curve points, no phase
-    // byte) and check the current reader accepts it: the format bump to
-    // v4 must not orphan existing checkpoints.
     struct NarrowCurvePoint
     {
         int64_t measurements;
@@ -573,7 +594,13 @@ TEST(Corruption, CheckpointV3StillLoads)
         w.writeString("random:5");          // v3: model name
         w.writeString("");                  // v3: model state blob
     });
-    std::istringstream is(os.str());
+    return os.str();
+}
+
+TEST(Corruption, CheckpointV3StillLoads)
+{
+    // The format bump to v4 must not orphan existing v3 checkpoints.
+    std::istringstream is(v3CheckpointBytes());
     const Status status = tune::verifyCheckpoint(is);
     EXPECT_TRUE(status.ok()) << status.toString();
 }
@@ -609,6 +636,206 @@ TEST(Corruption, BenchMemoStaleFingerprintIsClean)
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), ErrorCode::Invalid);
     EXPECT_NE(result.status().message().find("stale"), std::string::npos);
+}
+
+// --- write-side crash consistency (DESIGN.md §14) ------------------------
+//
+// For every artifact format: save generation 1, then attempt a
+// generation-2 overwrite under every injectable fault point — open
+// failure, torn write truncated at each section boundary +/- 1 byte,
+// flush failure, rename failure, each leaving crash debris. After every
+// fault the on-disk file must still be gen-1 bit for bit and must still
+// load cleanly: a torn artifact must never be observable through the
+// loaders.
+
+/** Every interesting truncation point of @p bytes: file edges plus each
+ *  frame's tag / payload / end offsets, each +/- 1. */
+std::vector<size_t>
+tornCuts(const std::string &bytes, size_t header)
+{
+    std::set<size_t> cuts{0, 1, header};
+    for (const Frame &frame : walkFrames(bytes, header)) {
+        const size_t marks[3] = {
+            frame.offset, frame.payload_offset,
+            frame.payload_offset +
+                static_cast<size_t>(frame.payload_size)};
+        for (const size_t mark : marks) {
+            if (mark > 0)
+                cuts.insert(mark - 1);
+            cuts.insert(mark);
+            cuts.insert(mark + 1);
+        }
+    }
+    std::vector<size_t> out;
+    for (const size_t cut : cuts)
+        if (cut <= bytes.size())
+            out.push_back(cut);
+    return out;
+}
+
+/**
+ * Run the full save-fault enumeration for one format. @p load is the
+ * real path-level loader; it must succeed on an intact artifact and
+ * report a clean Status otherwise.
+ */
+void
+runSaveDrill(const std::string &name, const std::string &gen1,
+             const std::string &gen2, size_t header,
+             const std::function<Status(const std::string &)> &load)
+{
+    namespace fs = std::filesystem;
+    ASSERT_FALSE(gen1.empty());
+    ASSERT_FALSE(gen2.empty());
+    ASSERT_NE(gen1, gen2);
+
+    const std::string path = "/tmp/tlp_test_io_drill_" + name + ".bin";
+    std::remove(path.c_str());
+    sweepStaleTempsFor(path);
+    ScopedIoFaults scope{IoFaultProfile{}};   // chaos off; counters reset
+
+    IoEnv &env = IoEnv::global();
+    const auto write = [&](const std::string &bytes) {
+        return atomicWriteFile(path, [&](std::ostream &os) {
+            os.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+        });
+    };
+    const auto readBack = [&] {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream os;
+        os << is.rdbuf();
+        return os.str();
+    };
+
+    // Fault during the very first save: no artifact may appear, and the
+    // loader reports a clean miss — never a parse of torn bytes.
+    IoFaultDecision first;
+    first.kind = IoFaultKind::TornWrite;
+    first.torn_at = static_cast<int64_t>(gen1.size() / 2);
+    first.crash_debris = true;
+    env.armNextWrite(first);
+    EXPECT_FALSE(write(gen1).ok());
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(load(path).ok());
+
+    ASSERT_TRUE(write(gen1).ok());
+    ASSERT_EQ(readBack(), gen1);
+    {
+        const Status loaded = load(path);
+        ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.toString();
+    }
+
+    // Every fault point of the gen-2 overwrite, with crash debris.
+    std::vector<IoFaultDecision> points;
+    for (const IoFaultKind kind :
+         {IoFaultKind::OpenFail, IoFaultKind::FlushFail,
+          IoFaultKind::RenameFail}) {
+        IoFaultDecision decision;
+        decision.kind = kind;
+        decision.crash_debris = true;
+        points.push_back(decision);
+    }
+    for (const size_t cut : tornCuts(gen2, header)) {
+        IoFaultDecision decision;
+        decision.kind = IoFaultKind::TornWrite;
+        decision.torn_at = static_cast<int64_t>(cut);
+        decision.crash_debris = true;
+        points.push_back(decision);
+    }
+
+    for (const IoFaultDecision &decision : points) {
+        env.armNextWrite(decision);
+        const Status status = write(gen2);
+        const std::string what = name + std::string(" under ") +
+                                 ioFaultKindName(decision.kind) +
+                                 " torn_at=" +
+                                 std::to_string(decision.torn_at);
+        EXPECT_FALSE(status.ok()) << what;
+        ASSERT_EQ(readBack(), gen1) << what;
+        const Status loaded = load(path);
+        ASSERT_TRUE(loaded.ok()) << what << ": " << loaded.toString();
+    }
+
+    // Every fault past open stranded a debris temp; OpenFail never made
+    // one but the first-save fault did, so the tally is points.size().
+    const int swept = sweepStaleTempsFor(path);
+    EXPECT_EQ(swept, static_cast<int>(points.size()));
+    EXPECT_TRUE(fs::exists(path));
+
+    // With chaos gone the overwrite commits and loads as gen-2.
+    ASSERT_TRUE(write(gen2).ok());
+    EXPECT_EQ(readBack(), gen2);
+    {
+        const Status loaded = load(path);
+        EXPECT_TRUE(loaded.ok()) << name << ": " << loaded.toString();
+    }
+    EXPECT_EQ(env.counters().writes_committed, 2);
+    std::remove(path.c_str());
+}
+
+TEST(CrashConsistency, DatasetSaveFaultsKeepPreviousArtifact)
+{
+    std::ostringstream os;
+    tinyDataset().save(os);
+    runSaveDrill("dataset", os.str(), goldenDatasetBytes(), 8,
+                 [](const std::string &path) {
+                     return data::Dataset::tryLoad(path).status();
+                 });
+}
+
+TEST(CrashConsistency, SnapshotSaveFaultsKeepPreviousArtifact)
+{
+    Rng rng(21);
+    model::TlpNet net(model::TlpNetConfig{}, rng);
+    std::ostringstream os;
+    model::saveTlpSnapshot(os, net);
+    runSaveDrill("snapshot", os.str(), goldenSnapshotBytes(), 8,
+                 [](const std::string &path) {
+                     return model::loadTlpSnapshot(path).status();
+                 });
+}
+
+TEST(CrashConsistency, CheckpointSaveFaultsKeepPreviousArtifact)
+{
+    runSaveDrill("checkpoint", v3CheckpointBytes(),
+                 goldenCheckpointBytes(), 8,
+                 [](const std::string &path) {
+                     return tune::verifyCheckpoint(path);
+                 });
+}
+
+TEST(CrashConsistency, TrainCheckpointSaveFaultsKeepPreviousArtifact)
+{
+    Rng rng(14);
+    nn::Tensor w = nn::Tensor::randn({8}, rng, 1.0);
+    nn::Adam adam({w}, {.lr = 0.01});
+    model::SupervisorOptions options;
+    options.enabled = true;
+    model::TrainSupervisor supervisor({w}, adam, options);
+    supervisor.step([&] {
+        adam.zeroGrad();
+        auto &grad = w.grad();
+        for (size_t j = 0; j < grad.size(); ++j)
+            grad[j] = 0.2f * static_cast<float>(j + 1);
+        return 2.0;
+    });
+    std::ostringstream os(std::ios::binary);
+    model::writeTrainCheckpoint(os, supervisor.makeCheckpoint(1));
+    runSaveDrill("train_ckpt", os.str(), goldenTrainCheckpointBytes(), 8,
+                 [](const std::string &path) {
+                     return model::loadTrainCheckpoint(path).status();
+                 });
+}
+
+TEST(CrashConsistency, BenchMemoSaveFaultsKeepPreviousArtifact)
+{
+    std::ostringstream os;
+    bench::writeBenchMemo(os, kMemoFingerprint, tinyDataset());
+    runSaveDrill("memo", os.str(), goldenMemoBytes(), 24,
+                 [](const std::string &path) {
+                     return bench::loadBenchMemo(path, kMemoFingerprint)
+                         .status();
+                 });
 }
 
 // --- model snapshots: cross-architecture and dimension bombs ------------

@@ -50,6 +50,9 @@ loader-tu src/loader.cc
 serialize-consumer src/consumer.cc
 hot-tu src/hot.cc
 allow-wallclock bench/timing.cc
+forbid-raw-io src/
+forbid-raw-io bench/
+raw-io-exempt src/support/serialize.cc
 )";
     auto result = parseManifest(text);
     EXPECT_TRUE(result.ok()) << result.status().toString();
@@ -383,6 +386,39 @@ void sizeOnce(Slab &slab, long capacity)
     EXPECT_TRUE(lintFile("src/hot.cc", clean, m).empty());
 }
 
+TEST(LintRules, RawIoBannedOutsideTheSeam)
+{
+    const Manifest m = testManifest();
+    const char *text = R"(
+void save(const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    std::rename("a.tmp", "a.bin");
+}
+)";
+    // Two raw-io findings in scoped TUs; the exempt seam TU and
+    // out-of-scope paths (tests/) stay clean.
+    const auto findings = lintFile("src/tuner/writer.cc", text, m);
+    EXPECT_EQ(findings.size(), 2u);
+    EXPECT_EQ(ruleSet(findings), std::set<std::string>{"raw-io"});
+    EXPECT_TRUE(
+        lintFile("src/support/serialize.cc", text, m).empty());
+    EXPECT_TRUE(lintFile("tests/test_x.cc", text, m).empty());
+
+    // ofstream inside a comment or string never fires (stripped view),
+    // and an audited suppression is honored.
+    const char *clean = R"lint(
+// std::ofstream in prose is fine
+void log() { inform("use std::rename (sic)"); }
+void plant(const std::string &path)
+{
+    // tlp-lint: allow(raw-io) -- fixture plants corruption
+    std::ofstream os(path);
+}
+)lint";
+    EXPECT_TRUE(lintFile("bench/bench_x.cc", clean, m).empty());
+}
+
 // --- hygiene rules ------------------------------------------------------
 
 TEST(LintRules, PragmaOnceRequiredInHeaders)
@@ -503,8 +539,9 @@ TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyWhereExpected)
         "rand",          "random-device",    "std-engine",
         "wallclock",     "layering",         "include-forbidden",
         "include-required", "loader-fatal",  "unbounded-alloc",
-        "hot-alloc",     "pragma-once",      "float-eq",
-        "member-underscore", "unused-suppression", "bad-suppression",
+        "hot-alloc",     "raw-io",           "pragma-once",
+        "float-eq",      "member-underscore", "unused-suppression",
+        "bad-suppression",
     };
     EXPECT_EQ(ruleSet(report.value().findings), expected);
 

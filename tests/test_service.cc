@@ -14,6 +14,7 @@
 
 #include "models/snapshot.h"
 #include "models/tlp_model.h"
+#include "support/io_env.h"
 #include "support/rng.h"
 #include "tuner/service/service.h"
 
@@ -195,7 +196,7 @@ TEST(Service, DamagedCheckpointIsQuarantinedNotFatal)
     const auto report = service.recover(fleet);
     EXPECT_EQ(report.quarantined, 1);
     EXPECT_EQ(report.outcomes.at("s001"), RecoveryOutcome::Quarantined);
-    EXPECT_TRUE(fs::exists(victim + ".quarantined"));
+    EXPECT_TRUE(fs::exists(victim + ".quarantined.1"));
     service.runUntilIdle();
 
     // The quarantined session restarted from round 0 and still matches
@@ -435,6 +436,156 @@ TEST(Service, InferenceHotPathNeverPerturbsCurves)
                   readFile(fast_dir + "/" + name + ".curve"))
             << name;
     }
+}
+
+TEST(Service, QuarantineKeepsEveryGeneration)
+{
+    // Two successive quarantines of the same session must leave two
+    // distinct evidence files; a fixed suffix would silently overwrite
+    // the first (the bug this pins).
+    const auto fleet = quickFleet(2);
+    const std::string dir = scratchDir("quarantine_gen");
+    const std::string victim = dir + "/s001.ckpt";
+
+    auto corrupt = [&]() {
+        std::string bytes = readFile(victim);
+        ASSERT_GT(bytes.size(), 64u);
+        for (size_t i = bytes.size() / 2; i < bytes.size() / 2 + 16; ++i)
+            bytes[i] = static_cast<char>(~bytes[i]);
+        std::ofstream os(victim, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    };
+
+    {
+        TuningService service(quickService(dir, 2));
+        service.recover(fleet);
+        service.runUntilIdle(9);
+    }
+    corrupt();
+    {
+        TuningService service(quickService(dir, 2));
+        const auto report = service.recover(fleet);
+        EXPECT_EQ(report.quarantined, 1);
+        EXPECT_TRUE(fs::exists(victim + ".quarantined.1"));
+        service.runUntilIdle(9);
+    }
+    corrupt();
+    {
+        TuningService service(quickService(dir, 2));
+        const auto report = service.recover(fleet);
+        EXPECT_EQ(report.quarantined, 1);
+        // Both generations of evidence survive, and they differ (they
+        // were taken at different rounds).
+        ASSERT_TRUE(fs::exists(victim + ".quarantined.1"));
+        ASSERT_TRUE(fs::exists(victim + ".quarantined.2"));
+        service.runUntilIdle();
+        for (const SessionSpec &spec : fleet)
+            EXPECT_EQ(service.status(spec.name),
+                      SessionStatus::Finished);
+    }
+}
+
+TEST(Service, RecoverSweepsStrandedTempFiles)
+{
+    // A crash between atomicWriteFile's open and rename strands
+    // "<name>.tmp.<pid>.<seq>" files; recover() must reap them (and
+    // only them).
+    const auto fleet = quickFleet(2);
+    const std::string dir = scratchDir("sweep");
+    fs::create_directories(dir);
+    const auto plant = [&](const std::string &name) {
+        std::ofstream os(dir + "/" + name, std::ios::binary);
+        os << "stranded";
+    };
+    plant("s000.ckpt.tmp.12345.0");
+    plant("s001.ckpt.tmp.999.17");
+    plant("s000.curve.tmp.1.2");
+    plant("keep.ckpt");            // not a temp: must survive
+    plant("odd.tmp.x.1");          // non-numeric pid: must survive
+
+    TuningService service(quickService(dir, 2));
+    const auto report = service.recover(fleet);
+    EXPECT_EQ(report.stale_temps_swept, 3);
+    EXPECT_EQ(service.stats().stale_temps_swept, 3);
+    EXPECT_FALSE(fs::exists(dir + "/s000.ckpt.tmp.12345.0"));
+    EXPECT_FALSE(fs::exists(dir + "/s001.ckpt.tmp.999.17"));
+    EXPECT_FALSE(fs::exists(dir + "/s000.curve.tmp.1.2"));
+    EXPECT_TRUE(fs::exists(dir + "/keep.ckpt"));
+    EXPECT_TRUE(fs::exists(dir + "/odd.tmp.x.1"));
+    service.runUntilIdle();
+    for (const SessionSpec &spec : fleet)
+        EXPECT_EQ(service.status(spec.name), SessionStatus::Finished);
+}
+
+TEST(Service, CheckpointWriteFaultsRetryThenDegradeWithoutCurveDrift)
+{
+    // DESIGN.md §14: with the I/O chaos env failing checkpoint and
+    // curve writes (crash debris and all), the fleet's curves must stay
+    // byte-identical to a fault-free run — checkpoint persistence may
+    // degrade, trajectories may not.
+    const auto fleet = quickFleet(4);
+    const std::string golden_dir = scratchDir("io_golden");
+    std::vector<tune::TuneResult> golden;
+    runGolden(golden_dir, fleet, golden);
+
+    const std::string dir = scratchDir("io_chaos");
+    IoFaultProfile chaos;
+    chaos.fault_rate = 0.7;
+    chaos.seed = 0x10c4a0;
+    chaos.crash_debris = true;
+    ScopedIoFaults scope(chaos);
+
+    ServiceOptions options = quickService(dir, 4);
+    options.ckpt_retry_limit = 2;
+    {
+        // First incarnation dies mid-run with faults raging.
+        TuningService service(options);
+        service.recover(fleet);
+        service.runUntilIdle(13);
+    }
+    TuningService service(options);
+    service.recover(fleet);   // sweeps debris, adopts what survived
+    service.runUntilIdle();
+    ASSERT_TRUE(service.idle());
+
+    const ServiceStats &stats = service.stats();
+    EXPECT_GT(stats.ckpt_write_failures, 0);
+    EXPECT_GT(stats.ckpt_retries, 0);
+    EXPECT_GT(stats.checkpointless_sessions, 0);
+
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        const std::string &name = fleet[i].name;
+        ASSERT_EQ(service.status(name), SessionStatus::Finished);
+        expectSameCurve(golden[i], service.result(name), name);
+        EXPECT_EQ(readFile(golden_dir + "/" + name + ".curve"),
+                  readFile(dir + "/" + name + ".curve"))
+            << name;
+    }
+}
+
+TEST(Service, IoChaosScheduleIsSeededAndReplayable)
+{
+    // The same profile over the same fleet injects the identical fault
+    // schedule: counters match run-for-run (the I/O analogue of the
+    // transient-fault determinism test above).
+    const auto fleet = quickFleet(2);
+    IoFaultProfile chaos;
+    chaos.fault_rate = 0.5;
+    chaos.seed = 0xabc;
+    int64_t failures[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+        // Same directory both passes: draws are keyed by the path
+        // fingerprint, so the schedule replays only on identical paths.
+        const std::string dir = scratchDir("io_replay");
+        ScopedIoFaults scope(chaos);
+        TuningService service(quickService(dir, 2));
+        service.recover(fleet);
+        service.runUntilIdle();
+        failures[pass] = service.stats().ckpt_write_failures;
+    }
+    EXPECT_GT(failures[0], 0);
+    EXPECT_EQ(failures[0], failures[1]);
 }
 
 TEST(Service, ModelKindNamesRoundTrip)

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "support/argparse.h"
 #include "support/config.h"
+#include "support/io_env.h"
 #include "support/rng.h"
 #include "support/serialize.h"
 #include "support/stats.h"
@@ -290,6 +293,202 @@ TEST(Serialize, AtomicWriteFileCommitsAndCleansUp)
     }
     EXPECT_FALSE(std::ifstream(path + ".tmp").good());
     std::remove(path.c_str());
+}
+
+// --- I/O chaos environment (DESIGN.md §14) ------------------------------
+
+TEST(IoEnv, DrawIsAPureFunctionOfSeedPathAndOp)
+{
+    IoFaultProfile profile;
+    profile.fault_rate = 0.5;
+    profile.seed = 0x5eed;
+
+    const uint64_t fp = fnv1a("a/b.ckpt", 8);
+    int faults = 0;
+    for (uint64_t op = 0; op < 256; ++op) {
+        const IoFaultDecision first = profile.draw(fp, op);
+        const IoFaultDecision again = profile.draw(fp, op);
+        EXPECT_EQ(first.kind, again.kind) << op;
+        EXPECT_EQ(first.aux, again.aux) << op;
+        faults += first.kind != IoFaultKind::None ? 1 : 0;
+    }
+    // Roughly rate-many faults; exact value pinned by the seed.
+    EXPECT_GT(faults, 64);
+    EXPECT_LT(faults, 192);
+
+    // Another path or another seed draws a different schedule.
+    IoFaultProfile reseeded = profile;
+    reseeded.seed = 0x5eee;
+    int diverged = 0;
+    for (uint64_t op = 0; op < 64; ++op) {
+        diverged +=
+            profile.draw(fp, op).kind != profile.draw(fp + 1, op).kind;
+        diverged +=
+            profile.draw(fp, op).kind != reseeded.draw(fp, op).kind;
+    }
+    EXPECT_GT(diverged, 8);
+
+    // Disabled profiles never fault.
+    const IoFaultProfile off;
+    for (uint64_t op = 0; op < 16; ++op)
+        EXPECT_EQ(off.draw(fp, op).kind, IoFaultKind::None);
+}
+
+TEST(IoEnv, ArmNextWriteIsOneShot)
+{
+    ScopedIoFaults scope{IoFaultProfile{}};   // chaos off, counters reset
+    IoEnv &env = IoEnv::global();
+
+    IoFaultDecision torn;
+    torn.kind = IoFaultKind::TornWrite;
+    torn.torn_at = 7;
+    env.armNextWrite(torn);
+
+    const IoFaultDecision first = env.drawWrite("/tmp/x.bin");
+    EXPECT_EQ(first.kind, IoFaultKind::TornWrite);
+    EXPECT_EQ(first.torn_at, 7);
+    EXPECT_EQ(env.drawWrite("/tmp/x.bin").kind, IoFaultKind::None);
+    EXPECT_EQ(env.counters().writes_attempted, 2);
+    EXPECT_EQ(env.counters().torn_faults, 1);
+}
+
+TEST(IoEnv, ScopedIoFaultsRestoresThePriorProfile)
+{
+    const IoFaultProfile before = IoEnv::global().profile();
+    {
+        IoFaultProfile chaos;
+        chaos.fault_rate = 0.25;
+        chaos.seed = 42;
+        ScopedIoFaults scope(chaos);
+        EXPECT_DOUBLE_EQ(IoEnv::global().profile().fault_rate, 0.25);
+        EXPECT_EQ(IoEnv::global().profile().seed, 42u);
+    }
+    EXPECT_DOUBLE_EQ(IoEnv::global().profile().fault_rate,
+                     before.fault_rate);
+    EXPECT_EQ(IoEnv::global().profile().seed, before.seed);
+}
+
+TEST(IoEnv, AtomicWriteFaultsKeepThePreviousFileAndControlDebris)
+{
+    ScopedIoFaults scope{IoFaultProfile{}};
+    IoEnv &env = IoEnv::global();
+    const std::string path = "/tmp/tlp_test_io_env_write.bin";
+    std::remove(path.c_str());
+    sweepStaleTempsFor(path);
+
+    ASSERT_TRUE(
+        atomicWriteFile(path, [](std::ostream &os) { os << "v1"; }).ok());
+
+    // Torn write without debris: error, previous file kept, no temps.
+    IoFaultDecision torn;
+    torn.kind = IoFaultKind::TornWrite;
+    torn.torn_at = 1;
+    env.armNextWrite(torn);
+    Status status =
+        atomicWriteFile(path, [](std::ostream &os) { os << "v2"; });
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::IoError);
+    EXPECT_EQ(sweepStaleTempsFor(path), 0);
+
+    // The same fault with crash debris strands exactly one temp.
+    torn.crash_debris = true;
+    env.armNextWrite(torn);
+    EXPECT_FALSE(
+        atomicWriteFile(path, [](std::ostream &os) { os << "v2"; }).ok());
+    EXPECT_EQ(sweepStaleTempsFor(path), 1);
+
+    std::ifstream is(path);
+    std::string body((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(body, "v1");
+    std::remove(path.c_str());
+}
+
+TEST(IoEnv, CheckReadInjectsAReplayableSchedule)
+{
+    const char *path = "/tmp/never_opened.bin";
+    std::vector<bool> first;
+    for (int pass = 0; pass < 2; ++pass) {
+        IoFaultProfile chaos;
+        chaos.fault_rate = 0.5;
+        chaos.seed = 0xbeef;
+        ScopedIoFaults scope(chaos);
+        std::vector<bool> outcomes;
+        for (int i = 0; i < 64; ++i)
+            outcomes.push_back(IoEnv::global().checkRead(path).ok());
+        const int64_t faults = IoEnv::global().counters().read_faults;
+        EXPECT_GT(faults, 8);
+        EXPECT_LT(faults, 56);
+        if (pass == 0)
+            first = outcomes;
+        else
+            EXPECT_EQ(first, outcomes);
+    }
+    // Chaos off: reads always pass.
+    EXPECT_TRUE(IoEnv::global().checkRead(path).ok());
+}
+
+TEST(IoEnv, QuarantineArtifactNeverOverwritesEvidence)
+{
+    const std::string path = "/tmp/tlp_test_io_env_quarantine.bin";
+    const auto plant = [&](const std::string &body) {
+        std::ofstream os(path, std::ios::binary);
+        os << body;
+    };
+    std::remove((path + ".quarantined.1").c_str());
+    std::remove((path + ".quarantined.2").c_str());
+
+    plant("damaged-gen-1");
+    auto first = quarantineArtifact(path);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    EXPECT_EQ(first.value(), path + ".quarantined.1");
+
+    plant("damaged-gen-2");
+    auto second = quarantineArtifact(path);
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    EXPECT_EQ(second.value(), path + ".quarantined.2");
+
+    // Both generations of evidence survive, with their own bytes.
+    std::ifstream one(path + ".quarantined.1");
+    std::ifstream two(path + ".quarantined.2");
+    std::string b1((std::istreambuf_iterator<char>(one)),
+                   std::istreambuf_iterator<char>());
+    std::string b2((std::istreambuf_iterator<char>(two)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(b1, "damaged-gen-1");
+    EXPECT_EQ(b2, "damaged-gen-2");
+    EXPECT_FALSE(std::ifstream(path).good());
+    std::remove((path + ".quarantined.1").c_str());
+    std::remove((path + ".quarantined.2").c_str());
+}
+
+TEST(IoEnv, SweepMatchesOnlyStaleTempNames)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "/tmp/tlp_test_io_env_sweep";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto plant = [&](const std::string &name) {
+        std::ofstream os(dir + "/" + name, std::ios::binary);
+        os << "x";
+    };
+    plant("model.bin");
+    plant("model.bin.tmp.100.0");
+    plant("model.bin.tmp.100.1");
+    plant("model.bin.tmp.nope.2");   // non-numeric pid: kept
+    plant("other.tmp");              // no pid/seq tail: kept
+
+    EXPECT_EQ(sweepStaleTemps(dir), 2);
+    EXPECT_EQ(sweepStaleTemps(dir), 0);   // idempotent
+    EXPECT_TRUE(fs::exists(dir + "/model.bin"));
+    EXPECT_TRUE(fs::exists(dir + "/model.bin.tmp.nope.2"));
+    EXPECT_TRUE(fs::exists(dir + "/other.tmp"));
+    // The single-artifact variant only reaps temps of that artifact.
+    plant("model.bin.tmp.100.3");
+    plant("rival.bin.tmp.100.4");
+    EXPECT_EQ(sweepStaleTempsFor(dir + "/model.bin"), 1);
+    EXPECT_TRUE(fs::exists(dir + "/rival.bin.tmp.100.4"));
+    fs::remove_all(dir);
 }
 
 TEST(Rng, SerializeRoundTripContinuesIdentically)

@@ -40,6 +40,13 @@
  *                      return Status / Result<T> (`loader-tu`)
  *   unbounded-alloc    resize/reserve in a `serialize-consumer` TU with no
  *                      remaining-bytes check in the preceding lines
+ *   raw-io             raw std::ofstream / rename on a TU under a
+ *                      `forbid-raw-io` prefix that is not a declared
+ *                      `raw-io-exempt` TU; artifact bytes must flow
+ *                      through the io_env/serialize seam
+ *                      (atomicWriteFile, quarantineArtifact) so fault
+ *                      injection and crash-consistency guarantees
+ *                      cannot be bypassed (DESIGN.md §14)
  *   hot-alloc          heap allocation (new, make_unique/make_shared,
  *                      malloc, or container growth) in a `hot-tu` TU; the
  *                      scoring hot path (DESIGN.md §13) must draw scratch
@@ -131,6 +138,10 @@ struct Manifest
     std::set<std::string> serialize_consumers;
     /** Hot-path TUs (DESIGN.md §13): no unaudited heap allocation. */
     std::set<std::string> hot_tus;
+    /** Prefixes where raw ofstream/rename is banned (DESIGN.md §14). */
+    std::vector<std::string> raw_io_scopes;
+    /** TUs exempt from the raw-io ban (the seam itself). */
+    std::set<std::string> raw_io_exempt;
 };
 
 /**

@@ -89,7 +89,9 @@ parseManifest(const std::string &text)
 
         if (directive == "exclude" || directive == "allow-wallclock" ||
             directive == "loader-tu" ||
-            directive == "serialize-consumer" || directive == "hot-tu") {
+            directive == "serialize-consumer" || directive == "hot-tu" ||
+            directive == "forbid-raw-io" ||
+            directive == "raw-io-exempt") {
             if (tokens.size() != 2) {
                 return manifestError(lineno, directive +
                                                  " expects exactly one "
@@ -104,6 +106,10 @@ parseManifest(const std::string &text)
                 manifest.loader_tus.insert(path);
             else if (directive == "hot-tu")
                 manifest.hot_tus.insert(path);
+            else if (directive == "forbid-raw-io")
+                manifest.raw_io_scopes.push_back(path);
+            else if (directive == "raw-io-exempt")
+                manifest.raw_io_exempt.insert(path);
             else
                 manifest.serialize_consumers.insert(path);
             continue;
@@ -576,6 +582,21 @@ lintFile(const std::string &rel_path, const std::string &text,
                 add(static_cast<int>(li) + 1, "unbounded-alloc",
                     "resize/reserve in a serialize-consumer TU with no "
                     "remaining-bytes check in the preceding 10 lines");
+            }
+        }
+    }
+    if (matchesAnyPrefix(rel_path, manifest.raw_io_scopes) &&
+        !manifest.raw_io_exempt.count(rel_path)) {
+        // Artifact bytes reach disk only through the io_env/serialize
+        // seam (DESIGN.md §14): a raw ofstream or rename here would
+        // bypass fault injection and the crash-consistency drill.
+        static const std::regex raw_io(R"(\bofstream\b|\brename\s*\()");
+        for (size_t li = 0; li < src.code.size(); ++li) {
+            if (std::regex_search(src.code[li], raw_io)) {
+                add(static_cast<int>(li) + 1, "raw-io",
+                    "raw file write/rename outside the io_env/serialize "
+                    "seam; route artifact bytes through atomicWriteFile "
+                    "/ quarantineArtifact (DESIGN.md §14)");
             }
         }
     }
