@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/audit.h"
 #include "dataset/collect.h"
 #include "dataset/metrics.h"
 #include "dataset/splits.h"
@@ -41,11 +42,12 @@ data::Dataset standardDataset(const std::vector<std::string> &platforms,
 
 // --- bench memo format (exposed for the corruption tests/bench) ---
 
-/** Bench memo file magic ("TLPM"). */
-inline constexpr uint32_t kMemoMagic = 0x544c504d;
+/** Bench memo file magic ("TLPM"); the audit module owns the value so
+ *  tlp_fsck recognizes memos without linking bench code. */
+inline constexpr uint32_t kMemoMagic = artifact::kBenchMemoMagic;
 
 /** Memo format version (v2: recoverable load + atomic write). */
-inline constexpr uint32_t kMemoVersion = 2;
+inline constexpr uint32_t kMemoVersion = artifact::kBenchMemoVersion;
 
 /** Atomically write a fingerprint-stamped dataset memo to @p path. */
 Status writeBenchMemo(const std::string &path, uint64_t fingerprint,

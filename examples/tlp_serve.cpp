@@ -9,6 +9,8 @@
  *                  [--max-active 8] [--max-queued 16]
  *                  [--deadline 0] [--fault-rate 0] [--ticks 0]
  *                  [--io-fault-rate 0] [--io-fault-seed N]
+ *                  [--poison s002] [--poison-after 2]
+ *                  [--breaker-limit 12]
  *                  [--swap-model tlp.snap] [--threads 4]
  *
  * Runs a fleet of tuning sessions to completion, one round per tick,
@@ -57,6 +59,15 @@ main(int argc, char **argv)
                    "per-session simulated-seconds deadline (0 = none)");
     args.addDouble("fault-rate", 0.0,
                    "seeded transient-fault rate in [0, 1)");
+    args.addString("poison", "",
+                   "poisoned-session drill: this session faults on "
+                   "every round until the circuit breaker trips "
+                   "(DESIGN.md §15)");
+    args.addInt("poison-after", 0,
+                "with --poison: session runs clean until round N");
+    args.addInt("breaker-limit", 12,
+                "consecutive strikes before a session is "
+                "poison-quarantined (0 = breaker disabled)");
     args.addDouble("io-fault-rate", 0.0,
                    "seeded artifact I/O fault rate in [0, 1): torn/"
                    "failed writes and failed reads (DESIGN.md §14; "
@@ -114,6 +125,11 @@ main(int argc, char **argv)
     options.max_active = static_cast<int>(args.getInt("max-active"));
     options.max_queued = static_cast<int>(args.getInt("max-queued"));
     options.faults.transient_rate = fault_rate;
+    options.faults.poison_session = args.getString("poison");
+    options.faults.poison_after_round =
+        static_cast<int>(args.getInt("poison-after"));
+    options.breaker_trip_limit =
+        static_cast<int>(args.getInt("breaker-limit"));
     if (args.getBool("legacy-infer"))
         options.tlp_infer = model::TlpInferOptions::legacy();
     options.verbose = args.getBool("verbose");
@@ -181,6 +197,12 @@ main(int argc, char **argv)
                         stats.checkpointless_sessions),
                     static_cast<long long>(stats.curve_write_retries),
                     report.stale_temps_swept);
+    }
+    if (stats.breaker_trips > 0) {
+        std::printf("containment: %lld sessions poison-quarantined "
+                    "(evidence *.ckpt.quarantined.N; no curve "
+                    "written)\n",
+                    static_cast<long long>(stats.breaker_trips));
     }
     if (!service.idle())
         std::printf("stopped by --ticks with work remaining\n");

@@ -8,7 +8,7 @@
  *                      [--subgraphs 2] [--fault-rate 0.1] [--retries 2]
  *                      [--checkpoint tune.ckpt] [--checkpoint-every 5]
  *                      [--resume tune.ckpt]
- *                      [--verify-checkpoint tune.ckpt]
+ *                      [--verify-checkpoint any-artifact.bin]
  *                      [--save-model tlp.snap] [--load-model tlp.snap]
  *                      [--threads 4] [--supervise]
  *                      [--train-fault-rate 0.05] [--guarded]
@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "artifact/audit.h"
 #include "dataset/collect.h"
 #include "dataset/splits.h"
 #include "ir/model_zoo.h"
@@ -59,7 +60,8 @@ main(int argc, char **argv)
     args.addString("resume", "",
                    "resume from this checkpoint (implies --checkpoint)");
     args.addString("verify-checkpoint", "",
-                   "integrity-check this checkpoint and exit "
+                   "integrity-check this artifact (any of the five "
+                   "formats, auto-detected by magic) and exit "
                    "(0 = intact, 3 = damaged)");
     args.addInt("subgraphs", 0,
                 "tune only the first N subgraphs (0 = all)");
@@ -89,19 +91,21 @@ main(int argc, char **argv)
     args.parse(argc, argv);
 
     // Artifact triage mode: no tuning, just the §8 integrity check with
-    // the standard exit-code contract (0 intact, 3 damaged).
+    // the standard exit-code contract (0 intact, 3 damaged). The audit
+    // module auto-detects the format by magic, so any of the five
+    // artifacts (or a curve file) can be handed to the same flag.
     const std::string verify = args.getString("verify-checkpoint");
     if (!verify.empty()) {
-        std::ifstream probe(verify, std::ios::binary);
-        if (!probe) {
-            artifactFatal(Status::error(ErrorCode::IoError,
-                                        "cannot open for read"),
-                          "cannot verify checkpoint ", verify);
+        const artifact::VerifyOutcome outcome =
+            artifact::verifyArtifactFile(verify);
+        const char *kind = artifact::artifactKindName(outcome.kind);
+        if (!outcome.status.ok()) {
+            if (outcome.kind == artifact::ArtifactKind::Unknown)
+                artifactFatal(outcome.status, "cannot verify ", verify);
+            artifactFatal(outcome.status, "damaged ", kind,
+                          " artifact ", verify);
         }
-        const Status status = tune::verifyCheckpoint(probe);
-        if (!status.ok())
-            artifactFatal(status, "damaged checkpoint ", verify);
-        std::printf("checkpoint %s: intact\n", verify.c_str());
+        std::printf("%s: intact (%s)\n", verify.c_str(), kind);
         return 0;
     }
 

@@ -12,7 +12,7 @@ namespace tlp::data {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x544c5044;   // "TLPD"
+constexpr uint32_t kMagic = Dataset::kMagic;   // "TLPD"
 
 // v3 section tags, in file order.
 constexpr uint32_t kMetaTag = sectionTag("META");

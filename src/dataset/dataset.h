@@ -68,6 +68,10 @@ struct LoadOptions
 class Dataset
 {
   public:
+    /** On-disk header magic, "TLPD" — the artifact audit
+     *  (src/artifact) keys format detection on it. */
+    static constexpr uint32_t kMagic = 0x544c5044;
+
     /**
      * Current on-disk format version (header version of save()).
      * v3 wraps everything in CRC32-checksummed sections; v2 (flat

@@ -37,10 +37,10 @@ constexpr uint64_t kReadSalt = 0x9ead5ull;
 constexpr uint64_t kKindSalt = 0x10f417ull;
 constexpr uint64_t kAuxSalt = 0x70a9ull;
 
-/** True when @p name is "<stem>.tmp.<digits>.<digits>" — the temp-file
- *  shape atomicWriteFile creates (support/serialize.cc). */
+} // namespace
+
 bool
-isStaleTempName(const std::string &name, const std::string &stem)
+isAtomicTempName(const std::string &name, const std::string &stem)
 {
     if (!stem.empty()) {
         if (name.compare(0, stem.size(), stem) != 0)
@@ -64,8 +64,6 @@ isStaleTempName(const std::string &name, const std::string &stem)
     return all_digits(tail.substr(0, dot)) &&
            all_digits(tail.substr(dot + 1));
 }
-
-} // namespace
 
 const char *
 ioFaultKindName(IoFaultKind kind)
@@ -232,9 +230,9 @@ ScopedIoFaults::~ScopedIoFaults()
 }
 
 Result<std::string>
-quarantineArtifact(const std::string &path)
+quarantineArtifact(const std::string &path, int max_generations)
 {
-    for (int n = 1; ; ++n) {
+    for (int n = 1; n <= max_generations; ++n) {
         const std::string jail =
             path + ".quarantined." + std::to_string(n);
         std::error_code ec;
@@ -248,6 +246,12 @@ quarantineArtifact(const std::string &path)
         }
         return jail;
     }
+    // Every generation slot is taken: refuse rather than overwrite any
+    // existing evidence (the caller keeps the damaged file in place).
+    return Status::error(ErrorCode::IoError,
+                         "cannot quarantine " + path + ": all " +
+                             std::to_string(max_generations) +
+                             " evidence generations already exist");
 }
 
 int
@@ -264,7 +268,7 @@ sweepStaleTemps(const std::string &dir)
          !ec && it != fs::directory_iterator(); it.increment(ec)) {
         if (!it->is_regular_file(ec))
             continue;
-        if (isStaleTempName(it->path().filename().string(), ""))
+        if (isAtomicTempName(it->path().filename().string(), ""))
             victims.push_back(it->path());
     }
     for (const fs::path &victim : victims) {
@@ -294,7 +298,7 @@ sweepStaleTempsFor(const std::string &artifact_path)
          !ec && it != fs::directory_iterator(); it.increment(ec)) {
         if (!it->is_regular_file(ec))
             continue;
-        if (isStaleTempName(it->path().filename().string(), stem))
+        if (isAtomicTempName(it->path().filename().string(), stem))
             victims.push_back(it->path());
     }
     for (const fs::path &victim : victims) {

@@ -178,13 +178,30 @@ class ScopedIoFaults
     IoFaultProfile saved_;
 };
 
+/** True when @p name is "<stem>.tmp.<digits>.<digits>" — the temp-file
+ *  shape atomicWriteFile creates. Empty @p stem matches any stem. The
+ *  single classifier behind sweepStaleTemps / sweepStaleTempsFor and
+ *  the artifact audit (src/artifact), so the doctor and the sweepers
+ *  can never disagree about what debris is. */
+bool isAtomicTempName(const std::string &name,
+                      const std::string &stem = std::string());
+
+/** Evidence generations quarantineArtifact probes before giving up: a
+ *  directory already holding this many "<path>.quarantined.N" files is
+ *  pathological, and failing loudly beats an unbounded scan. */
+inline constexpr int kQuarantineMaxGenerations = 10000;
+
 /**
  * Move a damaged artifact aside as quarantine evidence: renames @p path
  * to the first free "<path>.quarantined.N" (N = 1, 2, ...), so repeated
  * quarantines of the same artifact never overwrite earlier evidence.
- * Returns the jail path, or IoError when the rename fails.
+ * Returns the jail path, or IoError when the rename fails or every
+ * generation up to @p max_generations is already taken (the artifact
+ * and all existing evidence are left untouched in that case).
  */
-Result<std::string> quarantineArtifact(const std::string &path);
+Result<std::string>
+quarantineArtifact(const std::string &path,
+                   int max_generations = kQuarantineMaxGenerations);
 
 /**
  * Unlink every stale "<name>.tmp.<pid>.<seq>" file directly under

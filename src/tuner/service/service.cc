@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "artifact/audit.h"
 #include "ir/model_zoo.h"
 #include "ir/partition.h"
 #include "support/io_env.h"
@@ -95,6 +96,8 @@ sessionStatusName(SessionStatus status)
       case SessionStatus::Finished:        return "finished";
       case SessionStatus::DeadlineExpired: return "deadline-expired";
       case SessionStatus::Shed:            return "shed";
+      case SessionStatus::PoisonQuarantined:
+          return "poison-quarantined";
     }
     return "unknown";
 }
@@ -109,6 +112,15 @@ ServiceFaultProfile::draw(uint64_t session_key, int round,
     h = hashCombine(h, static_cast<uint64_t>(round));
     h = hashCombine(h, static_cast<uint64_t>(attempt));
     return hashUniform(h) < transient_rate;
+}
+
+bool
+ServiceFaultProfile::poisons(uint64_t session_key, int round) const
+{
+    if (poison_session.empty() || round < poison_after_round)
+        return false;
+    return session_key ==
+           fnv1a(poison_session.data(), poison_session.size());
 }
 
 TuningService::TuningService(const ServiceOptions &options)
@@ -270,16 +282,11 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
                 resume = true;
             } else {
                 // Damaged artifact: same meaning as CLI exit code 3,
-                // but a service quarantines and keeps serving. The
-                // unique .quarantined.N suffix keeps every generation
-                // of evidence.
-                const auto jail = quarantineArtifact(ckpt);
-                if (!jail.ok()) {
-                    warn("cannot quarantine ", ckpt, ": ",
-                         jail.status().toString());
-                    std::error_code ec;
-                    std::filesystem::remove(ckpt, ec);
-                }
+                // but a service quarantines and keeps serving — via
+                // the same audit-module policy tlp_fsck uses, so the
+                // doctor and the runtime can never drift on where
+                // evidence goes.
+                artifact::quarantineDamaged(ckpt);
                 warn("quarantined damaged checkpoint ", ckpt, ": ",
                      status.toString());
                 outcome = RecoveryOutcome::Quarantined;
@@ -297,13 +304,7 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
                 // Structurally valid but unusable for THIS spec (e.g.
                 // foreign configuration): quarantine and rebuild the
                 // session from round 0.
-                const auto jail = quarantineArtifact(ckpt);
-                if (!jail.ok()) {
-                    warn("cannot quarantine ", ckpt, ": ",
-                         jail.status().toString());
-                    std::error_code ec;
-                    std::filesystem::remove(ckpt, ec);
-                }
+                artifact::quarantineDamaged(ckpt);
                 warn("quarantined mismatched checkpoint ", ckpt, ": ",
                      status.toString());
                 outcome = RecoveryOutcome::Quarantined;
@@ -311,6 +312,12 @@ TuningService::recover(const std::vector<SessionSpec> &fleet)
             }
         }
         report.outcomes[spec.name] = outcome;
+        if (outcome == RecoveryOutcome::Quarantined) {
+            // A quarantined checkpoint is the session's first breaker
+            // strike: a spec that keeps poisoning its own persistence
+            // should trip sooner on the next bad round.
+            findSlot(spec.name).breaker_count = 1;
+        }
         switch (outcome) {
           case RecoveryOutcome::Fresh:       report.fresh += 1; break;
           case RecoveryOutcome::Recovered:   report.recovered += 1; break;
@@ -392,11 +399,51 @@ TuningService::finalize(Slot &slot, SessionStatus terminal)
     promoteQueued();
 }
 
+bool
+TuningService::noteBreakerStrike(Slot &slot)
+{
+    slot.breaker_count += 1;
+    if (options_.breaker_trip_limit <= 0 ||
+        slot.breaker_count < options_.breaker_trip_limit) {
+        return false;
+    }
+    tripBreaker(slot);
+    return true;
+}
+
+void
+TuningService::tripBreaker(Slot &slot)
+{
+    stats_.breaker_trips += 1;
+    slot.status = SessionStatus::PoisonQuarantined;
+    slot.ckpt_retry_pending = false;
+    const std::string ckpt = checkpointPath(slot.spec.name);
+    // Contain the evidence: the checkpoint (possibly mid-poisoning)
+    // moves to "*.quarantined.N" through the shared audit policy, and
+    // any temp debris the failing writes stranded is reaped. No curve
+    // file is ever written for a poison-quarantined session.
+    std::string evidence = "none";
+    std::error_code ec;
+    if (std::filesystem::exists(ckpt, ec) && !ec) {
+        const artifact::QuarantineAction action =
+            artifact::quarantineDamaged(ckpt);
+        evidence = action.removed ? std::string("removed")
+                                  : action.jail;
+    }
+    artifact::sweepDebrisFor(ckpt);
+    warn("circuit breaker tripped: session '", slot.spec.name,
+         "' poison-quarantined after ", slot.breaker_count,
+         " consecutive strikes (checkpoint evidence: ", evidence, ")");
+    promoteQueued();
+}
+
 void
 TuningService::noteCheckpointFailure(Slot &slot, int64_t tick_now)
 {
     stats_.ckpt_write_failures += 1;
     slot.ckpt_failures += 1;
+    if (noteBreakerStrike(slot))
+        return;
     if (slot.ckpt_failures > options_.ckpt_retry_limit) {
         // Degrade rather than stall: the session keeps tuning without
         // persistence — a crash from here costs re-running rounds on
@@ -475,7 +522,9 @@ TuningService::tick()
             slot.ckpt_failures = 0;
         } else {
             noteCheckpointFailure(slot, tick_now);
-            if (slot.status == SessionStatus::BackedOff)
+            // Anything but Active (backed off for a retry, or the
+            // breaker tripped) ends this quantum.
+            if (slot.status != SessionStatus::Active)
                 return !idle();
         }
     }
@@ -494,10 +543,16 @@ TuningService::tick()
 
     // Transient-fault draw (seeded, keyed by session/round/attempt):
     // back off exponentially; the round itself runs untouched later, so
-    // faults shift the schedule but never the trajectory.
-    if (options_.faults.draw(slot.key, slot.session->roundsDone(),
+    // faults shift the schedule but never the trajectory. A poisoned
+    // session (drill hook) faults on every draw — only the circuit
+    // breaker can end it.
+    const int round_now = slot.session->roundsDone();
+    if (options_.faults.poisons(slot.key, round_now) ||
+        options_.faults.draw(slot.key, round_now,
                              slot.fault_attempts)) {
         stats_.faults_injected += 1;
+        if (noteBreakerStrike(slot))
+            return !idle();
         const int shift = std::min(slot.fault_attempts, 20);
         int64_t delay = static_cast<int64_t>(options_.backoff_base_ticks)
                         << shift;
@@ -532,6 +587,10 @@ TuningService::tick()
     if (!slot.checkpointless &&
         !slot.session->lastCheckpointStatus().ok()) {
         noteCheckpointFailure(slot, tick_now);
+    } else {
+        // Round ran and persistence (if enabled) landed: the session
+        // is healthy, so consecutive-strike accounting starts over.
+        slot.breaker_count = 0;
     }
     return !idle();
 }

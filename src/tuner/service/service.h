@@ -69,8 +69,17 @@ struct ServiceFaultProfile
     /** Probability a (session, round, attempt) draw faults, in [0, 1). */
     double transient_rate = 0.0;
     uint64_t seed = 0x5eed;
+    /** Poisoned-session drill: the named session faults on EVERY draw
+     *  once it reaches poison_after_round — the deterministic stand-in
+     *  for a session whose workload or host is simply broken, used to
+     *  exercise the circuit breaker (empty = no poison). */
+    std::string poison_session;
+    int poison_after_round = 0;
 
     bool draw(uint64_t session_key, int round, int attempt) const;
+
+    /** True when the poisoned-session drill dooms this draw. */
+    bool poisons(uint64_t session_key, int round) const;
 };
 
 /** One session the service should run. */
@@ -104,6 +113,12 @@ enum class SessionStatus : uint8_t
     Finished,        ///< budget exhausted; result final, curve written
     DeadlineExpired, ///< finalized early by the simulated-time deadline
     Shed,            ///< refused at submit: queue was at capacity
+    /** Circuit breaker tripped: the session accrued breaker_trip_limit
+     *  consecutive faults/degradations, its checkpoint was renamed
+     *  aside as evidence, and its slot was freed. Terminal; no curve
+     *  file is written — by the isolation invariant every OTHER
+     *  session's curve is byte-identical to a fleet without it. */
+    PoisonQuarantined,
 };
 
 /** Short status name, e.g. "backed-off". */
@@ -163,6 +178,18 @@ struct ServiceOptions
      *  transient faults) and retries the write before the next round;
      *  past the limit the session keeps tuning without persistence. */
     int ckpt_retry_limit = 3;
+    /**
+     * Per-session circuit breaker (DESIGN.md §15): consecutive strikes
+     * — transient round faults, failed checkpoint writes, and a
+     * quarantined checkpoint at recover() — a session may accrue
+     * before it trips to PoisonQuarantined. A fully clean round resets
+     * the count, so the breaker only fires on a session that is
+     * failing *forever*, never on the bursty-but-recovering faults the
+     * backoff schedule is for. 0 disables the breaker. Trips are a
+     * pure function of the seeded fault/IO schedules — never wall
+     * clock — so a drill replays exactly.
+     */
+    int breaker_trip_limit = 12;
     ServiceFaultProfile faults;
     /** Inference hot-path configuration handed to every GuardedTlp
      *  session's TlpCostModel (DESIGN.md §13). Value-neutral: any
@@ -193,6 +220,7 @@ struct ServiceStats
     int64_t checkpointless_sessions = 0; ///< sessions degraded (ever)
     int64_t curve_write_retries = 0;   ///< curve-file write retries
     int64_t stale_temps_swept = 0;     ///< temp files reaped in recover()
+    int64_t breaker_trips = 0;         ///< sessions poison-quarantined
 };
 
 /**
@@ -280,6 +308,10 @@ class TuningService
         int ckpt_failures = 0;       ///< consecutive failed ckpt writes
         bool ckpt_retry_pending = false; ///< retry write at next wake
         bool checkpointless = false; ///< degraded: persistence disabled
+        /** Consecutive circuit-breaker strikes (faults + checkpoint
+         *  failures + recover-time quarantine); a clean round zeroes
+         *  it, breaker_trip_limit trips it. */
+        int breaker_count = 0;
         tune::TuneResult final_result;
     };
 
@@ -296,6 +328,15 @@ class TuningService
      *  retry, or degrade the session to Checkpointless past the limit
      *  (DESIGN.md §14). Never touches tuning state. */
     void noteCheckpointFailure(Slot &slot, int64_t tick_now);
+
+    /** One breaker strike against @p slot; trips it at the limit.
+     *  @return true when the session was poison-quarantined. */
+    bool noteBreakerStrike(Slot &slot);
+
+    /** Trip the circuit breaker: quarantine the session's checkpoint
+     *  as evidence, mark it PoisonQuarantined (no curve file), free
+     *  its slot for the admission queue. */
+    void tripBreaker(Slot &slot);
 
     /** Move the oldest Queued slot into the freed active slot. */
     void promoteQueued();

@@ -16,7 +16,7 @@ namespace tlp::tune {
 
 namespace {
 
-constexpr uint32_t kSessionMagic = 0x544c5053;   // "TLPS"
+constexpr uint32_t kSessionMagic = kSessionCheckpointMagic;   // "TLPS"
 // v4 widens CurvePoint with the simulated-seconds column and appends the
 // session phase byte so a service can tell a cleanly finished session
 // from a mid-flight one without knowing its budget; v2/v3 checkpoints

@@ -279,6 +279,10 @@ TuneResult tuneWorkload(const ir::Workload &workload,
                         model::CostModel &cost_model,
                         const TuneOptions &options);
 
+/** On-disk header magic of the tuning-checkpoint artifact, "TLPS" —
+ *  the artifact audit (src/artifact) keys format detection on it. */
+inline constexpr uint32_t kSessionCheckpointMagic = 0x544c5053;
+
 /**
  * Parse and integrity-check a checkpoint file (framing, checksum, every
  * field) without resuming from it. Ok means a resume would accept the

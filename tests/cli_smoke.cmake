@@ -8,11 +8,11 @@
 # parsing or main()'s artifact probing.
 
 if(NOT DEFINED TUNE_WORKLOAD OR NOT DEFINED DATASET_BUILDER
-   OR NOT DEFINED TLP_LINT OR NOT DEFINED LINT_FIXTURE_DIR
-   OR NOT DEFINED WORK_DIR)
+   OR NOT DEFINED TLP_LINT OR NOT DEFINED TLP_FSCK
+   OR NOT DEFINED LINT_FIXTURE_DIR OR NOT DEFINED WORK_DIR)
     message(FATAL_ERROR
             "usage: cmake -DTUNE_WORKLOAD=... -DDATASET_BUILDER=... "
-            "-DTLP_LINT=... -DLINT_FIXTURE_DIR=... "
+            "-DTLP_LINT=... -DTLP_FSCK=... -DLINT_FIXTURE_DIR=... "
             "-DWORK_DIR=... -P cli_smoke.cmake")
 endif()
 
@@ -98,10 +98,10 @@ if(NOT verify_bad_code EQUAL 3)
             "3 (damaged artifact), got '${verify_bad_code}'. stderr: "
             "${verify_bad_output}")
 endif()
-if(NOT verify_bad_output MATCHES "damaged checkpoint")
+if(NOT verify_bad_output MATCHES "damaged tuning-checkpoint")
     message(FATAL_ERROR
             "tune_workload --verify-checkpoint <garbage>: message does "
-            "not name the damage. stderr: ${verify_bad_output}")
+            "not name the damaged format. stderr: ${verify_bad_output}")
 endif()
 
 # A missing file is also an artifact problem (exit 3), not a crash.
@@ -114,6 +114,83 @@ if(NOT verify_missing_code EQUAL 3)
     message(FATAL_ERROR
             "tune_workload --verify-checkpoint <missing>: expected exit "
             "3, got '${verify_missing_code}'")
+endif()
+
+# --- tlp_fsck exit codes: 0 = clean, 2 = user error, 3 = damage found --
+
+execute_process(
+    COMMAND "${TLP_FSCK}"
+    RESULT_VARIABLE fsck_usage_code
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT fsck_usage_code EQUAL 2)
+    message(FATAL_ERROR
+            "tlp_fsck without --dir: expected exit 2 (user error), got "
+            "'${fsck_usage_code}'")
+endif()
+
+set(fsck_dir "${WORK_DIR}/cli_smoke_fsck")
+file(REMOVE_RECURSE "${fsck_dir}")
+file(MAKE_DIRECTORY "${fsck_dir}")
+execute_process(
+    COMMAND "${TLP_FSCK}" --dir "${fsck_dir}"
+    RESULT_VARIABLE fsck_clean_code
+    OUTPUT_VARIABLE fsck_clean_output ERROR_QUIET)
+if(NOT fsck_clean_code EQUAL 0)
+    message(FATAL_ERROR
+            "tlp_fsck on an empty directory: expected exit 0, got "
+            "'${fsck_clean_code}'. stdout: ${fsck_clean_output}")
+endif()
+
+# Plant damage (a garbage checkpoint) and debris (a stale atomic temp):
+# the audit must exit 3, --repair must contain both, and a follow-up
+# audit must come back clean.
+file(WRITE "${fsck_dir}/s000.ckpt" "definitely not a TLPS checkpoint\n")
+file(WRITE "${fsck_dir}/s001.ckpt.tmp.12345.6" "stranded temp bytes")
+execute_process(
+    COMMAND "${TLP_FSCK}" --dir "${fsck_dir}"
+    RESULT_VARIABLE fsck_dirty_code
+    OUTPUT_VARIABLE fsck_dirty_output ERROR_QUIET)
+if(NOT fsck_dirty_code EQUAL 3)
+    message(FATAL_ERROR
+            "tlp_fsck on a damaged directory: expected exit 3, got "
+            "'${fsck_dirty_code}'. stdout: ${fsck_dirty_output}")
+endif()
+if(NOT fsck_dirty_output MATCHES "state corrupt"
+   OR NOT fsck_dirty_output MATCHES "state stale-temp")
+    message(FATAL_ERROR
+            "tlp_fsck report does not classify the planted damage. "
+            "stdout: ${fsck_dirty_output}")
+endif()
+
+execute_process(
+    COMMAND "${TLP_FSCK}" --dir "${fsck_dir}" --repair
+    RESULT_VARIABLE fsck_repair_code
+    OUTPUT_VARIABLE fsck_repair_output ERROR_QUIET)
+if(NOT fsck_repair_code EQUAL 3)
+    message(FATAL_ERROR
+            "tlp_fsck --repair on a damaged directory: expected exit 3 "
+            "(damage was found), got '${fsck_repair_code}'. stdout: "
+            "${fsck_repair_output}")
+endif()
+if(NOT EXISTS "${fsck_dir}/s000.ckpt.quarantined.1")
+    message(FATAL_ERROR
+            "tlp_fsck --repair did not quarantine the damaged "
+            "checkpoint as s000.ckpt.quarantined.1")
+endif()
+if(EXISTS "${fsck_dir}/s001.ckpt.tmp.12345.6")
+    message(FATAL_ERROR "tlp_fsck --repair did not sweep the stale temp")
+endif()
+
+execute_process(
+    COMMAND "${TLP_FSCK}" --dir "${fsck_dir}"
+    RESULT_VARIABLE fsck_after_code
+    OUTPUT_VARIABLE fsck_after_output ERROR_QUIET)
+file(REMOVE_RECURSE "${fsck_dir}")
+if(NOT fsck_after_code EQUAL 0)
+    message(FATAL_ERROR
+            "tlp_fsck after --repair: expected exit 0 (evidence is not "
+            "damage), got '${fsck_after_code}'. stdout: "
+            "${fsck_after_output}")
 endif()
 
 # --- tlp_lint exit codes: 0 = clean tree, 1 = findings, 2 = bad config -
@@ -161,5 +238,5 @@ if(NOT lint_bad_code EQUAL 2)
 endif()
 
 message(STATUS "cli exit-code contract holds: user error=2, corrupt=3, "
-               "verify-checkpoint 0/3, lint clean=0 / findings=1 / bad "
-               "manifest=2")
+               "verify-checkpoint 0/3, fsck 0/2/3, lint clean=0 / "
+               "findings=1 / bad manifest=2")

@@ -16,6 +16,7 @@
 #include "models/tlp_model.h"
 #include "support/io_env.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "tuner/service/service.h"
 
 namespace tlp::serve {
@@ -586,6 +587,151 @@ TEST(Service, IoChaosScheduleIsSeededAndReplayable)
     }
     EXPECT_GT(failures[0], 0);
     EXPECT_EQ(failures[0], failures[1]);
+}
+
+TEST(Service, PoisonedSessionIsContainedWithoutCurveDrift)
+{
+    // DESIGN.md §15: tripping the circuit breaker on one poisoned
+    // session must leave every other session's curve bytes identical
+    // to a fleet where the poisoned spec never existed — at any
+    // thread count.
+    auto drill_fleet = quickFleet(5);
+    auto golden_fleet = drill_fleet;
+    golden_fleet.erase(golden_fleet.begin() + 2);   // a world without s002
+
+    const std::string golden_dir = scratchDir("poison_golden");
+    std::vector<tune::TuneResult> golden;
+    runGolden(golden_dir, golden_fleet, golden);
+
+    for (const int threads : {1, 3}) {
+        ThreadPool::setGlobalThreads(threads);
+        const std::string dir =
+            scratchDir("poison_drill" + std::to_string(threads));
+        ServiceOptions options = quickService(dir, 5);
+        options.faults.poison_session = "s002";
+        options.faults.poison_after_round = 1;
+        options.breaker_trip_limit = 3;
+        options.backoff_base_ticks = 1;
+        options.backoff_cap_ticks = 2;
+        TuningService service(options);
+        service.recover(drill_fleet);
+        service.runUntilIdle();
+        ASSERT_TRUE(service.idle());
+
+        // The poisoned session is terminal, curveless, and its last
+        // checkpoint was renamed aside as evidence.
+        EXPECT_EQ(service.status("s002"),
+                  SessionStatus::PoisonQuarantined);
+        EXPECT_EQ(service.stats().breaker_trips, 1);
+        EXPECT_FALSE(fs::exists(dir + "/s002.curve"));
+        EXPECT_FALSE(fs::exists(dir + "/s002.ckpt"));
+        EXPECT_TRUE(fs::exists(dir + "/s002.ckpt.quarantined.1"));
+
+        // Everyone else finished exactly as if s002 never enrolled.
+        for (size_t i = 0; i < golden_fleet.size(); ++i) {
+            const std::string &name = golden_fleet[i].name;
+            ASSERT_EQ(service.status(name), SessionStatus::Finished);
+            expectSameCurve(golden[i], service.result(name), name);
+            EXPECT_EQ(readFile(golden_dir + "/" + name + ".curve"),
+                      readFile(dir + "/" + name + ".curve"))
+                << name << " at " << threads << " threads";
+        }
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+}
+
+TEST(Service, BreakerTripFreesSlotForQueuedSession)
+{
+    // A tripped session must release its active slot like any other
+    // terminal state: the queued session behind it gets promoted and
+    // runs to completion.
+    const auto fleet = quickFleet(2);
+    const std::string dir = scratchDir("breaker_slot");
+    ServiceOptions options = quickService(dir, 2);
+    options.max_active = 1;
+    options.faults.poison_session = "s000";
+    options.faults.poison_after_round = 0;
+    options.breaker_trip_limit = 2;
+    options.backoff_base_ticks = 1;
+    options.backoff_cap_ticks = 2;
+    TuningService service(options);
+    EXPECT_EQ(service.submit(fleet[0]), AdmitOutcome::Active);
+    EXPECT_EQ(service.submit(fleet[1]), AdmitOutcome::Queued);
+    service.runUntilIdle();
+
+    EXPECT_EQ(service.status("s000"), SessionStatus::PoisonQuarantined);
+    EXPECT_EQ(service.status("s001"), SessionStatus::Finished);
+    EXPECT_EQ(service.stats().breaker_trips, 1);
+    EXPECT_EQ(service.stats().finished, 1);
+    // Poisoned before its first checkpoint: no evidence, just no file.
+    EXPECT_FALSE(fs::exists(dir + "/s000.curve"));
+    EXPECT_TRUE(fs::exists(dir + "/s001.curve"));
+}
+
+TEST(Service, DisabledBreakerNeverTripsUnderPoison)
+{
+    // breaker_trip_limit = 0 turns containment off: the poisoned
+    // session retries (with backoff) until the tick budget expires,
+    // and is still Active when the service is stopped.
+    const auto fleet = quickFleet(2);
+    const std::string dir = scratchDir("breaker_off");
+    ServiceOptions options = quickService(dir, 2);
+    options.faults.poison_session = "s000";
+    options.faults.poison_after_round = 0;
+    options.breaker_trip_limit = 0;
+    options.backoff_base_ticks = 1;
+    options.backoff_cap_ticks = 2;
+    TuningService service(options);
+    service.recover(fleet);
+    service.runUntilIdle(200);
+
+    EXPECT_EQ(service.stats().breaker_trips, 0);
+    // Stopped mid-backoff, not quarantined: the session is still live.
+    EXPECT_EQ(service.status("s000"), SessionStatus::BackedOff);
+    EXPECT_EQ(service.status("s001"), SessionStatus::Finished);
+    EXPECT_GT(service.stats().faults_injected, 0);
+    EXPECT_FALSE(service.idle());
+}
+
+TEST(Service, RecoverQuarantineSkipsPlantedEvidenceGenerations)
+{
+    // Evidence from earlier incidents may be non-contiguous (operators
+    // delete nothing, but crashes can). recover() must slot new
+    // evidence into the first free generation and never overwrite.
+    const auto fleet = quickFleet(2);
+    const std::string dir = scratchDir("evidence_gaps");
+    {
+        TuningService service(quickService(dir, 2));
+        service.recover(fleet);
+        service.runUntilIdle(9);
+    }
+    const std::string victim = dir + "/s001.ckpt";
+    ASSERT_TRUE(fs::exists(victim));
+    {
+        std::string bytes = readFile(victim);
+        for (size_t i = bytes.size() / 2; i < bytes.size() / 2 + 16; ++i)
+            bytes[i] = static_cast<char>(~bytes[i]);
+        std::ofstream os(victim, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    const auto plant = [&](const std::string &name,
+                           const std::string &body) {
+        std::ofstream os(dir + "/" + name, std::ios::binary);
+        os << body;
+    };
+    plant("s001.ckpt.quarantined.1", "incident one");
+    plant("s001.ckpt.quarantined.3", "incident three");
+
+    TuningService service(quickService(dir, 2));
+    const auto report = service.recover(fleet);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_TRUE(fs::exists(victim + ".quarantined.2"));
+    EXPECT_EQ(readFile(victim + ".quarantined.1"), "incident one");
+    EXPECT_EQ(readFile(victim + ".quarantined.3"), "incident three");
+    service.runUntilIdle();
+    for (const SessionSpec &spec : fleet)
+        EXPECT_EQ(service.status(spec.name), SessionStatus::Finished);
 }
 
 TEST(Service, ModelKindNamesRoundTrip)
