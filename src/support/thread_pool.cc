@@ -29,6 +29,9 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads))
 {
     workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+    // parallelFor refills chunks_ in place every round; reserving the
+    // worst case here keeps the steady state allocation-free.
+    chunks_.reserve(static_cast<size_t>(num_threads_));
     for (int w = 0; w < num_threads_ - 1; ++w)
         workers_.emplace_back(
             [this, w] { workerLoop(static_cast<size_t>(w)); });
@@ -98,21 +101,20 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         return;
     }
 
-    // Static partition: near-equal contiguous chunks, front-loaded.
-    std::vector<std::pair<int64_t, int64_t>> chunks;
-    chunks.reserve(static_cast<size_t>(num_chunks));
-    const int64_t base = n / num_chunks;
-    const int64_t rem = n % num_chunks;
-    int64_t pos = begin;
-    for (int64_t c = 0; c < num_chunks; ++c) {
-        const int64_t size = base + (c < rem ? 1 : 0);
-        chunks.emplace_back(pos, pos + size);
-        pos += size;
-    }
-
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        chunks_ = std::move(chunks);
+        // Static partition: near-equal contiguous chunks, front-loaded,
+        // filled in place. Capacity was reserved to num_threads_ at
+        // construction, so the steady-state resize never reallocates.
+        chunks_.resize(static_cast<size_t>(num_chunks)); // tlp-lint: allow(hot-call-alloc) -- capacity reserved at construction; num_chunks <= num_threads_
+        const int64_t base = n / num_chunks;
+        const int64_t rem = n % num_chunks;
+        int64_t pos = begin;
+        for (int64_t c = 0; c < num_chunks; ++c) {
+            const int64_t size = base + (c < rem ? 1 : 0);
+            chunks_[static_cast<size_t>(c)] = {pos, pos + size};
+            pos += size;
+        }
         job_ = &fn;
         error_ = nullptr;
         pending_ = static_cast<int>(chunks_.size()) - 1;
@@ -149,8 +151,10 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
 ThreadPool &
 ThreadPool::global()
 {
-    if (!global_pool)
+    if (!global_pool) {
+        // tlp-lint: allow(hot-call-alloc) -- one-time lazy pool creation
         global_pool = std::make_unique<ThreadPool>(configuredThreads());
+    }
     return *global_pool;
 }
 

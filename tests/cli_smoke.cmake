@@ -224,6 +224,50 @@ if(NOT lint_dirty_output MATCHES "include-forbidden")
             "tlp_lint dirty output does not name the Fig. 10 "
             "include-forbidden finding. stderr: ${lint_dirty_output}")
 endif()
+foreach(flow_rule unchecked-result hot-call-alloc suppression-budget)
+    if(NOT lint_dirty_output MATCHES "${flow_rule}")
+        message(FATAL_ERROR
+                "tlp_lint dirty output does not name the flow-aware "
+                "${flow_rule} finding. stderr: ${lint_dirty_output}")
+    endif()
+endforeach()
+
+# --format json emits the machine-readable report on stdout and keeps
+# the human summary (and exit code) intact.
+execute_process(
+    COMMAND "${TLP_LINT}"
+        --manifest "${LINT_FIXTURE_DIR}/clean/manifest.txt"
+        --root "${LINT_FIXTURE_DIR}/clean" --format json .
+    RESULT_VARIABLE lint_json_code
+    OUTPUT_VARIABLE lint_json_stdout
+    ERROR_QUIET)
+if(NOT lint_json_code EQUAL 0)
+    message(FATAL_ERROR
+            "tlp_lint --format json on the clean fixture dir: expected "
+            "exit 0, got '${lint_json_code}'")
+endif()
+if(NOT lint_json_stdout MATCHES "\"files_scanned\""
+   OR NOT lint_json_stdout MATCHES "\"suppressions\"")
+    message(FATAL_ERROR
+            "tlp_lint --format json stdout is missing report fields: "
+            "${lint_json_stdout}")
+endif()
+
+# --max-suppressions overrides the manifest budget: the clean fixture
+# carries audited suppressions, so a zero budget must flip it to exit 1.
+execute_process(
+    COMMAND "${TLP_LINT}"
+        --manifest "${LINT_FIXTURE_DIR}/clean/manifest.txt"
+        --root "${LINT_FIXTURE_DIR}/clean" --max-suppressions 0 .
+    RESULT_VARIABLE lint_budget_code
+    OUTPUT_QUIET ERROR_VARIABLE lint_budget_output)
+if(NOT lint_budget_code EQUAL 1
+   OR NOT lint_budget_output MATCHES "suppression-budget")
+    message(FATAL_ERROR
+            "tlp_lint --max-suppressions 0 on the clean fixture dir: "
+            "expected exit 1 with a suppression-budget finding, got "
+            "'${lint_budget_code}'. stderr: ${lint_budget_output}")
+endif()
 
 execute_process(
     COMMAND "${TLP_LINT}"

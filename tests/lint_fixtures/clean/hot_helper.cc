@@ -1,0 +1,14 @@
+// Reachable on the call graph from the hot-entry root in hot_path.cc,
+// but allocation-free: scratch comes from the caller's arena, so the
+// transitive hot-call-alloc walk must stay clean.
+float
+accumulate(Arena &arena, const float *features, long dim)
+{
+    float *scratch = arena.alloc(dim);
+    float acc = 0.0f;
+    for (long d = 0; d < dim; ++d) {
+        scratch[d] = features[d];
+        acc += scratch[d];
+    }
+    return acc;
+}

@@ -12,6 +12,14 @@ scoreRows(const float *features, float *out, long rows, long dim)
     }
 }
 
+// Declared hot-entry in the manifest: the transitive walk follows the
+// call into hot_helper.cc and finds only arena storage there.
+float
+scoreEntry(Arena &arena, const float *features, long dim)
+{
+    return accumulate(arena, features, dim);
+}
+
 void
 sizeOnce(Slab &slab, long capacity)
 {

@@ -1,0 +1,38 @@
+// Declared must-check in the manifest: every Status produced below is
+// consumed — assigned, returned, tested in a condition, or passed as an
+// argument — so unchecked-result must stay silent. The saveBlob pair
+// additionally pins the overload rule: the name has a void stream
+// overload, so even its whole-statement call must not flag (by-name
+// edges cannot tell the overloads apart).
+Status
+writeIndex(const std::string &path)
+{
+    return Status{};
+}
+
+Status
+saveBlob(const std::string &path)
+{
+    return Status{};
+}
+
+void
+saveBlob(std::ostream &os)
+{
+}
+
+void
+logStatus(const Status &status);
+
+Status
+checkedUses(const std::string &path, std::ostream &os)
+{
+    const Status assigned = writeIndex(path);
+    if (!assigned.ok())
+        return assigned;
+    if (!writeIndex(path).ok())         // tested in a condition
+        return Status{};
+    logStatus(writeIndex(path));        // passed as an argument
+    saveBlob(os);                       // void overload of a mixed name
+    return writeIndex(path);            // returned
+}

@@ -1,0 +1,14 @@
+// Not itself a hot-tu, but reachable on the call graph from the
+// hot-entry root in hot_entry.cc: every container growth below must
+// produce a hot-call-alloc finding at its own line.
+#include <vector>
+
+float
+scoreWithScratch(const float *features, long dim)
+{
+    std::vector<float> scratch;
+    scratch.reserve(dim);               // rule: hot-call-alloc
+    for (long d = 0; d < dim; ++d)
+        scratch.push_back(features[d]); // rule: hot-call-alloc
+    return scratch.empty() ? 0.0f : scratch[0];
+}

@@ -1,0 +1,8 @@
+// Declared hot-entry root in the manifest: allocation-free itself, but
+// it reaches the allocating helper in hot_call_alloc.cc across the TU
+// boundary, which the transitive hot-call-alloc walk must flag.
+float
+hotScore(const float *features, long dim)
+{
+    return scoreWithScratch(features, dim);
+}

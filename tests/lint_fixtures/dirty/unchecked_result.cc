@@ -1,0 +1,13 @@
+// Declared must-check in the manifest: saveAll() drops the Status that
+// the tree-wide symbol index knows saveHeader() returns.
+Status
+saveHeader(const std::string &path)
+{
+    return Status{};
+}
+
+void
+saveAll(const std::string &path)
+{
+    saveHeader(path);   // rule: unchecked-result
+}

@@ -53,6 +53,8 @@ allow-wallclock bench/timing.cc
 forbid-raw-io src/
 forbid-raw-io bench/
 raw-io-exempt src/support/serialize.cc
+must-check src/
+hot-entry hotLoop
 )";
     auto result = parseManifest(text);
     EXPECT_TRUE(result.ok()) << result.status().toString();
@@ -509,6 +511,256 @@ TEST(LintSuppression, UnusedSuppressionIsAFinding)
     EXPECT_EQ(findings[0].rule, "unused-suppression");
 }
 
+// --- flow-aware pass: symbol index + call graph (DESIGN.md §11) ---------
+
+namespace {
+
+/** Rule ids in a LintReport. */
+std::set<std::string>
+ruleSet(const LintReport &report)
+{
+    return ruleSet(report.findings);
+}
+
+/** In-memory linting must always succeed; unwrap the report. */
+LintReport
+runSources(const std::vector<SourceFile> &files, const Manifest &m)
+{
+    auto result = lintSources(files, m);
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.take();
+}
+
+} // namespace
+
+TEST(LintFlow, DiscardedStatusCallIsFlaggedAcrossTus)
+{
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/support/saver.h",
+         "#pragma once\nStatus saveHeader(const std::string &path);\n"},
+        {"src/dropper.cc",
+         "void saveAll(const std::string &path)\n"
+         "{\n"
+         "    saveHeader(path);\n"
+         "}\n"},
+    };
+    const auto findings = runSources(sources, m).findings;
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unchecked-result");
+    EXPECT_EQ(findings[0].file, "src/dropper.cc");
+    EXPECT_EQ(findings[0].line, 3);
+    // The message names the declaration the index resolved the call to.
+    EXPECT_NE(findings[0].message.find("src/support/saver.h"),
+              std::string::npos);
+}
+
+TEST(LintFlow, ConsumedStatusCallsStayClean)
+{
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/checked.cc", R"(
+Status saveHeader(const std::string &path) { return Status{}; }
+void logStatus(const Status &status);
+Status
+useEveryShape(const std::string &path)
+{
+    const Status assigned = saveHeader(path);
+    if (!assigned.ok())
+        return assigned;
+    if (!saveHeader(path).ok())
+        return Status{};
+    logStatus(saveHeader(path));
+    return saveHeader(path);
+}
+)"},
+    };
+    const auto report = runSources(sources, m);
+    EXPECT_TRUE(report.findings.empty())
+        << report.findings[0].toString();
+}
+
+TEST(LintFlow, MixedVoidOverloadIsNotFlagged)
+{
+    // save/load families pair a Status path wrapper with a void stream
+    // overload; by-name resolution must not flag calls to the void one.
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/pair.cc", R"(
+Status saveBlob(const std::string &path) { return Status{}; }
+void saveBlob(std::ostream &os) {}
+void
+writeStream(std::ostream &os)
+{
+    saveBlob(os);
+}
+)"},
+    };
+    EXPECT_TRUE(runSources(sources, m).findings.empty());
+}
+
+TEST(LintFlow, StatusRefAccessorIsNotFlagged)
+{
+    // `const Status &status()` accessors return a view, not an
+    // obligation: a discarded accessor call is dead code, not a
+    // dropped error.
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/accessor.cc", R"(
+const Status &statusOf(const Thing &thing);
+void
+poke(const Thing &thing)
+{
+    statusOf(thing);
+}
+)"},
+    };
+    EXPECT_TRUE(runSources(sources, m).findings.empty());
+}
+
+TEST(LintFlow, HotCallAllocReachesAcrossTus)
+{
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/hot.cc",
+         "float hotLoop(std::vector<int> &v)\n"
+         "{\n"
+         "    grow(v);\n"
+         "    return 0.0f;\n"
+         "}\n"},
+        {"src/support/growing.cc",
+         "void grow(std::vector<int> &v)\n"
+         "{\n"
+         "    v.push_back(1);\n"
+         "}\n"},
+    };
+    const auto findings = runSources(sources, m).findings;
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "hot-call-alloc");
+    EXPECT_EQ(findings[0].file, "src/support/growing.cc");
+    EXPECT_EQ(findings[0].line, 3);
+    // The message carries the call path from the hot entry.
+    EXPECT_NE(findings[0].message.find("hotLoop -> grow"),
+              std::string::npos);
+}
+
+TEST(LintFlow, ArenaOnlyCalleeStaysClean)
+{
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/hot.cc",
+         "float hotLoop(Arena &arena)\n"
+         "{\n"
+         "    return fill(arena);\n"
+         "}\n"},
+        {"src/support/filler.cc",
+         "float fill(Arena &arena)\n"
+         "{\n"
+         "    float *scratch = arena.alloc(16);\n"
+         "    return scratch[0];\n"
+         "}\n"},
+    };
+    EXPECT_TRUE(runSources(sources, m).findings.empty());
+}
+
+TEST(LintFlow, UnreachableAllocatorIsNotFlagged)
+{
+    // Allocating code that the hot entry never reaches is the per-TU
+    // hot-alloc rule's business, not the transitive walk's.
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/hot.cc",
+         "float hotLoop(const float *x) { return x[0]; }\n"},
+        {"src/support/cold.cc",
+         "void coldPath(std::vector<int> &v) { v.push_back(1); }\n"},
+    };
+    EXPECT_TRUE(runSources(sources, m).findings.empty());
+}
+
+TEST(LintFlow, LocalLambdaDoesNotAliasCrossTuName)
+{
+    // A local `split` lambda must not resolve to an allocating free
+    // function of the same name in another TU.
+    const Manifest m = testManifest();
+    const std::vector<SourceFile> sources = {
+        {"src/hot.cc", R"(
+float
+hotLoop(long n)
+{
+    auto split = [](long v) { return v / 2; };
+    return static_cast<float>(split(n));
+}
+)"},
+        {"src/support/strings.cc", R"(
+std::string
+split(const std::string &text)
+{
+    return text.substr(1);
+}
+)"},
+    };
+    const auto report = runSources(sources, m);
+    EXPECT_TRUE(report.findings.empty())
+        << report.findings[0].toString();
+}
+
+TEST(LintFlow, SuppressionBudgetIsTreeWide)
+{
+    auto parsed = parseManifest(
+        "must-check src/\nsuppression-budget 1\n");
+    ASSERT_TRUE(parsed.ok());
+    const char *suppressed =
+        "bool near(double x)\n"
+        "{\n"
+        "    return x == 0.5; "
+        "// tlp-lint: allow(float-eq) -- fixture tolerance\n"
+        "}\n";
+    const std::vector<SourceFile> sources = {
+        {"src/a.cc", suppressed},
+        {"src/b.cc", suppressed},
+    };
+    const auto over = runSources(sources, parsed.value());
+    EXPECT_EQ(over.suppressions, 2);
+    EXPECT_EQ(ruleSet(over),
+              std::set<std::string>{"suppression-budget"});
+
+    // At or under budget is clean; -1 (unset) never fires.
+    parsed.value().suppression_budget = 2;
+    EXPECT_TRUE(runSources(sources, parsed.value()).findings.empty());
+    parsed.value().suppression_budget = -1;
+    EXPECT_TRUE(runSources(sources, parsed.value()).findings.empty());
+}
+
+TEST(LintFlow, ManifestPathMatchingStopsAtComponentBoundaries)
+{
+    // The regression shape: a directive scoped to src/tuner/session
+    // must not leak onto src/tuner/session_extra.cc, while extension
+    // and directory boundaries still match.
+    EXPECT_TRUE(pathInScope("src/tuner/session.cc",
+                            "src/tuner/session.cc"));
+    EXPECT_TRUE(pathInScope("src/tuner/session.cc", "src/tuner/session"));
+    EXPECT_TRUE(pathInScope("src/tuner/session.h", "src/tuner/session"));
+    EXPECT_FALSE(pathInScope("src/tuner/session_extra.cc",
+                             "src/tuner/session"));
+    EXPECT_FALSE(pathInScope("src/tuner/session_extra.cc",
+                             "src/tuner/session.cc"));
+    EXPECT_TRUE(pathInScope("src/tuner/session.cc", "src/tuner/"));
+    EXPECT_TRUE(pathInScope("src/tuner/session.cc", "src/tuner"));
+    EXPECT_FALSE(pathInScope("src/tuner_extra/x.cc", "src/tuner"));
+
+    // Through the rule engine: the Fig. 10 forbid-include prefix
+    // covers tlp_features.{cc,h} but not a sibling with a longer stem.
+    const Manifest m = testManifest();
+    const char *text = "#include \"schedule/lower.h\"\n";
+    EXPECT_EQ(ruleSet(lintFile("src/features/tlp_features.cc", text, m))
+                  .count("include-forbidden"),
+              1u);
+    EXPECT_EQ(ruleSet(lintFile("src/features/tlp_features_extra.cc",
+                               text, m))
+                  .count("include-forbidden"),
+              0u);
+}
+
 // --- golden fixture trees (on disk) -------------------------------------
 
 TEST(LintFixtures, CleanTreeIsClean)
@@ -541,7 +793,8 @@ TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyWhereExpected)
         "include-required", "loader-fatal",  "unbounded-alloc",
         "hot-alloc",     "raw-io",           "pragma-once",
         "float-eq",      "member-underscore", "unused-suppression",
-        "bad-suppression",
+        "bad-suppression", "unchecked-result", "hot-call-alloc",
+        "suppression-budget",
     };
     EXPECT_EQ(ruleSet(report.value().findings), expected);
 
@@ -557,6 +810,30 @@ TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyWhereExpected)
     EXPECT_TRUE(has("src/features/tlp_features.cc", "include-forbidden"));
     EXPECT_TRUE(has("src/features/ansor_features.cc",
                     "include-required"));
+
+    // The flow-aware pair: the planted discarded Status fires in its
+    // own TU, and the allocating helper fires in the helper's TU (the
+    // hot entry lives in hot_entry.cc).
+    EXPECT_TRUE(has("unchecked_result.cc", "unchecked-result"));
+    EXPECT_TRUE(has("hot_call_alloc.cc", "hot-call-alloc"));
+}
+
+TEST(LintFixtures, EveryRuleIdIsExercisedByAGoldenFixture)
+{
+    // Meta-test: a rule the engine knows but no fixture fires is a
+    // rule that can silently stop working.
+    const auto manifest = loadManifest(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/dirty/manifest.txt");
+    ASSERT_TRUE(manifest.ok()) << manifest.status().toString();
+    const auto report = lintTree(
+        std::string(TLP_LINT_FIXTURE_DIR) + "/dirty", {"."},
+        manifest.value());
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    const std::set<std::string> fired = ruleSet(report.value().findings);
+    for (const std::string &rule : allRuleIds())
+        EXPECT_TRUE(fired.count(rule))
+            << "rule \"" << rule
+            << "\" is not exercised by any golden fixture";
 }
 
 TEST(LintFixtures, BadManifestFailsToParse)

@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Pass 1 of the flow-aware analysis: the tree-wide symbol index.
+ *
+ * A small hand-rolled tokenizer (no std::regex — this pass runs over
+ * every indexed TU and must keep the whole-tree scan under the ~2 s
+ * pre-commit budget) walks the literal-free code view produced by
+ * stripSource and recognizes:
+ *
+ *  - function definitions and declarations, with their return-type
+ *    facts: returns Status/Result<T> by value (the must-check contract
+ *    of DESIGN.md §8) and returns std::string by value (an allocation
+ *    at every call, for the hot-path analysis of §13);
+ *  - per-function call sites, each classified as value-consumed or
+ *    discarded (a whole statement whose result is never assigned,
+ *    returned, passed on, or tested);
+ *  - per-function may-allocate facts: operator new, make_unique /
+ *    make_shared, the malloc family, container growth methods, and
+ *    string building.
+ *
+ * The recognizer is deliberately structural, not a full C++ parser: the
+ * repo style (return type on its own line, gem5 bracing) keeps the
+ * heuristics honest, and the golden fixtures pin every shape it must
+ * understand. Local lambda bindings (`auto split = [&](...)`) are
+ * recorded per function so a call to such a name resolves inside the
+ * body instead of aliasing an unrelated free function (str_util's
+ * split(), say). Calls through names the index never saw resolve to
+ * nothing and create no edge — the analysis is conservative about code
+ * it cannot see.
+ */
+#include "tools/tlp_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tlp::lint {
+
+namespace {
+
+/** One lexical token of the code view. */
+struct Token
+{
+    enum class Kind { Ident, Number, Punct };
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 0;
+};
+
+/** Control-flow / expression keywords that look like calls but are not. */
+bool
+isCallKeyword(const std::string &word)
+{
+    static const std::set<std::string> keywords = {
+        "if", "while", "for", "switch", "catch", "return", "sizeof",
+        "alignof", "alignas", "decltype", "static_cast", "dynamic_cast",
+        "const_cast", "reinterpret_cast", "static_assert", "typeid",
+        "noexcept", "throw", "new", "delete", "assert", "defined",
+    };
+    return keywords.count(word) > 0;
+}
+
+/** Declaration-specifier keywords stripped from return-type token runs. */
+bool
+isSpecifierKeyword(const std::string &word)
+{
+    static const std::set<std::string> specifiers = {
+        "static", "inline", "constexpr", "consteval", "constinit",
+        "virtual", "explicit", "friend", "extern", "typename", "const",
+        "volatile", "mutable", "unsigned", "signed", "struct", "class",
+        "enum", "using", "typedef", "template", "operator", "thread_local",
+    };
+    return specifiers.count(word) > 0;
+}
+
+/** Container growth / string building method names (may allocate). */
+bool
+isGrowthMethod(const std::string &word)
+{
+    static const std::set<std::string> growth = {
+        "push_back", "emplace_back", "resize", "reserve", "insert",
+        "assign", "append", "emplace", "push_front", "emplace_front",
+    };
+    return growth.count(word) > 0;
+}
+
+/** Free names whose call is itself an allocation. */
+bool
+isAllocName(const std::string &word)
+{
+    static const std::set<std::string> alloc = {
+        "make_unique", "make_shared", "malloc", "calloc", "realloc",
+        "strdup", "to_string", "ostringstream", "stringstream",
+    };
+    return alloc.count(word) > 0;
+}
+
+/** Tokenize the literal-free code view, preserving line numbers.
+ *  Preprocessor lines (and their backslash continuations) are skipped
+ *  whole: a function-like macro definition must never register as a
+ *  function, and a macro body's braces must never open a bogus region. */
+std::vector<Token>
+tokenize(const StrippedSource &src)
+{
+    std::vector<Token> tokens;
+    tokens.reserve(1024);
+    bool continuation = false;
+    for (size_t li = 0; li < src.code.size(); ++li) {
+        const std::string &line = src.code[li];
+        const int lineno = static_cast<int>(li) + 1;
+        const size_t first = line.find_first_not_of(" \t");
+        const bool pp = continuation ||
+                        (first != std::string::npos && line[first] == '#');
+        continuation = pp && !line.empty() && line.back() == '\\';
+        if (pp)
+            continue;
+        size_t i = 0;
+        while (i < line.size()) {
+            const char c = line[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                size_t j = i;
+                while (j < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            line[j])) ||
+                        line[j] == '_'))
+                    ++j;
+                tokens.push_back({Token::Kind::Ident,
+                                  line.substr(i, j - i), lineno});
+                i = j;
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                size_t j = i;
+                while (j < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            line[j])) ||
+                        line[j] == '.' || line[j] == '\''))
+                    ++j;
+                tokens.push_back({Token::Kind::Number,
+                                  line.substr(i, j - i), lineno});
+                i = j;
+                continue;
+            }
+            // Two-char operators the scanner must see as units.
+            if (i + 1 < line.size()) {
+                const char n = line[i + 1];
+                if ((c == ':' && n == ':') || (c == '-' && n == '>')) {
+                    tokens.push_back({Token::Kind::Punct,
+                                      line.substr(i, 2), lineno});
+                    i += 2;
+                    continue;
+                }
+            }
+            tokens.push_back({Token::Kind::Punct, std::string(1, c),
+                              lineno});
+            ++i;
+        }
+    }
+    return tokens;
+}
+
+/** Scanner state shared by the recognizer helpers. */
+struct Scanner
+{
+    const std::vector<Token> &toks;
+
+    bool
+    is(size_t i, const char *text) const
+    {
+        return i < toks.size() && toks[i].text == text;
+    }
+
+    bool
+    ident(size_t i) const
+    {
+        return i < toks.size() && toks[i].kind == Token::Kind::Ident;
+    }
+
+    /** Index just past the ')' matching the '(' at @p open; npos when
+     *  unbalanced (cap keeps hostile input linear). */
+    size_t
+    matchParen(size_t open) const
+    {
+        int depth = 0;
+        for (size_t i = open; i < toks.size(); ++i) {
+            if (toks[i].text == "(")
+                ++depth;
+            else if (toks[i].text == ")" && --depth == 0)
+                return i + 1;
+        }
+        return std::string::npos;
+    }
+
+    /**
+     * With toks[close - 1] == ">", walk back over a balanced template
+     * argument run to the '<' and return the index of the token before
+     * it (the template name) — npos when the run does not look like
+     * template arguments (so `a > b (c)` is never misparsed). Bounded
+     * lookback keeps this linear.
+     */
+    size_t
+    templateNameBefore(size_t close) const
+    {
+        int depth = 0;
+        size_t steps = 0;
+        size_t i = close;
+        while (i > 0 && steps++ < 64) {
+            --i;
+            const Token &t = toks[i];
+            if (t.text == ">") {
+                ++depth;
+                continue;
+            }
+            if (t.text == "<") {
+                if (--depth == 0)
+                    return i > 0 && toks[i - 1].kind ==
+                                        Token::Kind::Ident
+                               ? i - 1
+                               : std::string::npos;
+                continue;
+            }
+            if (t.kind == Token::Kind::Ident ||
+                t.kind == Token::Kind::Number || t.text == "::" ||
+                t.text == "," || t.text == "*" || t.text == "&")
+                continue;
+            return std::string::npos;
+        }
+        return std::string::npos;
+    }
+};
+
+/**
+ * Walk back from the first token of a qualified call name to decide
+ * whether the call begins its statement. Member chains hop over
+ * `expr.` / `expr->` / `ns::` qualifiers, including call results
+ * (`io_env().atomicWriteFile(...)`); anything else — an `=`, a `(`,
+ * a `,`, `return` — means the value is consumed.
+ */
+bool
+callStartsStatement(const Scanner &sc, size_t name_pos, size_t body_begin)
+{
+    size_t i = name_pos;
+    size_t hops = 0;
+    while (hops++ < 64) {
+        if (i <= body_begin)
+            return true;
+        const Token &prev = sc.toks[i - 1];
+        if (prev.text == ";" || prev.text == "{" || prev.text == "}")
+            return true;
+        if (prev.text == "." || prev.text == "->" || prev.text == "::") {
+            if (i < 2)
+                return false;
+            const Token &base = sc.toks[i - 2];
+            if (base.kind == Token::Kind::Ident) {
+                i -= 2;
+                continue;
+            }
+            if (base.text == ")") {
+                // Hop over a call result: find the '(' opening this
+                // ')' and continue from the name before it.
+                int depth = 0;
+                size_t j = i - 1;
+                while (j > 0) {
+                    --j;
+                    if (sc.toks[j].text == ")")
+                        ++depth;
+                    else if (sc.toks[j].text == "(") {
+                        if (depth-- == 0)
+                            break;
+                    }
+                }
+                if (j == 0 || sc.toks[j - 1].kind != Token::Kind::Ident)
+                    return false;
+                i = j - 1;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+    return false;
+}
+
+/** Return-type facts gathered from the token run before a signature. */
+struct ReturnFacts
+{
+    bool plausible = false;  ///< the run looks like a declaration head
+    bool returns_status = false;
+    bool returns_string = false;
+};
+
+/**
+ * Classify the tokens from the previous statement boundary up to the
+ * start of the (qualified) function name. An `=` anywhere in the run
+ * means this is an initializer, not a declaration.
+ */
+ReturnFacts
+classifyReturnTokens(const Scanner &sc, size_t type_begin,
+                     size_t name_begin)
+{
+    ReturnFacts facts;
+    facts.plausible = true;
+    bool by_value = true;
+    bool has_status = false;
+    bool has_string = false;
+    for (size_t i = type_begin; i < name_begin; ++i) {
+        const Token &t = sc.toks[i];
+        if (t.text == "=" || t.text == "(" || t.text == ")") {
+            facts.plausible = false;
+            return facts;
+        }
+        if (t.text == "&" || t.text == "*")
+            by_value = false;
+        if (t.kind == Token::Kind::Ident) {
+            if (t.text == "Status" || t.text == "Result")
+                has_status = true;
+            else if (t.text == "string")
+                has_string = true;
+        }
+    }
+    facts.returns_status = has_status && by_value;
+    facts.returns_string = has_string && by_value;
+    return facts;
+}
+
+/** Skip a constructor member-init list: @p i sits on the ':' after the
+ *  signature; returns the index of the body '{' or npos. */
+size_t
+skipInitList(const Scanner &sc, size_t i)
+{
+    int round = 0;
+    int curly = 0;
+    size_t steps = 0;
+    for (++i; i < sc.toks.size() && steps++ < 4096; ++i) {
+        const std::string &t = sc.toks[i].text;
+        if (t == "(")
+            ++round;
+        else if (t == ")")
+            --round;
+        else if (t == "{") {
+            if (round == 0 && curly == 0) {
+                // Either the body, or a brace initializer `m_{x}`:
+                // an initializer's '{' directly follows an identifier.
+                if (i > 0 && sc.toks[i - 1].kind == Token::Kind::Ident &&
+                    !sc.is(i - 1, ")"))
+                    ++curly;
+                else
+                    return i;
+            } else {
+                ++curly;
+            }
+        } else if (t == "}") {
+            if (curly > 0)
+                --curly;
+        } else if (t == ";") {
+            return std::string::npos;
+        }
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+void
+indexSource(const std::string &rel_path, const StrippedSource &src,
+            SymbolIndex &index)
+{
+    const std::vector<Token> tokens = tokenize(src);
+    const Scanner sc{tokens};
+
+    // Brace regions: a function body attributes calls/allocs to its
+    // function; every other '{' (namespace, class, control flow inside
+    // a body) is transparent.
+    struct Region
+    {
+        bool body = false;
+        size_t fn = std::string::npos;  ///< index into index.functions
+    };
+    std::vector<Region> stack;
+    // Innermost enclosing body function (lambdas and nested blocks all
+    // attribute to it).
+    auto currentFn = [&]() -> FunctionInfo * {
+        for (size_t s = stack.size(); s-- > 0;)
+            if (stack[s].body)
+                return &index.functions[stack[s].fn];
+        return nullptr;
+    };
+    // Statement boundary of the innermost region, for return-type runs
+    // and discard back-scans.
+    size_t stmt_begin = 0;
+
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        FunctionInfo *fn = currentFn();
+
+        if (tok.text == "{") {
+            stack.push_back(Region{});
+            stmt_begin = i + 1;
+            continue;
+        }
+        if (tok.text == "}") {
+            if (!stack.empty())
+                stack.pop_back();
+            stmt_begin = i + 1;
+            continue;
+        }
+        if (tok.text == ";") {
+            stmt_begin = i + 1;
+            continue;
+        }
+
+        // May-allocate facts inside a body.
+        if (fn != nullptr && tok.kind == Token::Kind::Ident) {
+            if (tok.text == "new" && !sc.is(i + 1, "(")) {
+                fn->allocs.push_back({tok.line, "new"});
+            } else if (isAllocName(tok.text) &&
+                       (sc.is(i + 1, "(") || sc.is(i + 1, "<"))) {
+                fn->allocs.push_back({tok.line, tok.text});
+            } else if (isGrowthMethod(tok.text) && sc.is(i + 1, "(") &&
+                       i > 0 &&
+                       (sc.is(i - 1, ".") || sc.is(i - 1, "->"))) {
+                fn->allocs.push_back({tok.line, "." + tok.text + "()"});
+            }
+            // Local lambda binding: `name = [...]` resolves locally.
+            if (sc.is(i + 1, "=") && sc.is(i + 2, "["))
+                fn->locals.insert(tok.text);
+        }
+
+        if (tok.text != "(")
+            continue;
+
+        // A '(' preceded by a name (possibly with template args) is a
+        // call site or, at class/namespace scope, a signature.
+        size_t name_pos = std::string::npos;
+        if (i > 0 && tokens[i - 1].kind == Token::Kind::Ident)
+            name_pos = i - 1;
+        else if (i > 0 && tokens[i - 1].text == ">")
+            name_pos = sc.templateNameBefore(i);
+        if (name_pos == std::string::npos)
+            continue;
+        const std::string &name = tokens[name_pos].text;
+        if (isCallKeyword(name) || isSpecifierKeyword(name))
+            continue;
+
+        // The qualified chain start: A::B::name.
+        size_t chain_begin = name_pos;
+        while (chain_begin >= 2 && tokens[chain_begin - 1].text == "::" &&
+               tokens[chain_begin - 2].kind == Token::Kind::Ident)
+            chain_begin -= 2;
+
+        const size_t close = sc.matchParen(i);
+        if (close == std::string::npos)
+            continue;
+
+        if (fn != nullptr) {
+            // Call site. Local lambda names resolve inside the body.
+            if (fn->locals.count(name))
+                continue;
+            CallSite call;
+            call.name = name;
+            call.line = tok.line;
+            call.discarded =
+                sc.is(close, ";") &&
+                callStartsStatement(sc, chain_begin, stmt_begin);
+            fn->calls.push_back(std::move(call));
+            continue;
+        }
+
+        // Signature at class/namespace scope: definition when the
+        // parameter list is followed by a body (possibly behind
+        // cv-qualifiers, noexcept, override, a trailing return type, or
+        // a member-init list), declaration when it ends in ';'.
+        size_t after = close;
+        while (after < tokens.size()) {
+            const std::string &t = tokens[after].text;
+            if (t == "const" || t == "noexcept" || t == "override" ||
+                t == "final" || t == "mutable" || t == "&" || t == "&&") {
+                ++after;
+                continue;
+            }
+            if (t == "(") {  // noexcept(...)
+                const size_t skip = sc.matchParen(after);
+                if (skip == std::string::npos)
+                    break;
+                after = skip;
+                continue;
+            }
+            if (t == "->") {  // trailing return type
+                after += 2;
+                continue;
+            }
+            break;
+        }
+
+        bool defined = false;
+        size_t body_open = std::string::npos;
+        if (sc.is(after, "{")) {
+            defined = true;
+            body_open = after;
+        } else if (sc.is(after, ":")) {
+            body_open = skipInitList(sc, after);
+            defined = body_open != std::string::npos;
+        } else if (!sc.is(after, ";") && !sc.is(after, "=")) {
+            continue;  // expression or macro use, not a declaration
+        }
+        // `= default` / `= delete` / `= 0` declarations carry no body.
+
+        const ReturnFacts facts =
+            classifyReturnTokens(sc, stmt_begin, chain_begin);
+        if (!facts.plausible)
+            continue;
+
+        FunctionInfo info;
+        info.name = name;
+        for (size_t q = chain_begin; q <= name_pos; ++q)
+            info.qualified += tokens[q].text;
+        info.file = rel_path;
+        info.line = tokens[name_pos].line;
+        info.defined = defined;
+        info.returns_status = facts.returns_status;
+        info.returns_string = facts.returns_string;
+        index.functions.push_back(std::move(info));
+
+        if (defined) {
+            // Enter the body: skip to its '{' and push a body region.
+            while (i + 1 < tokens.size() && i != body_open)
+                ++i;
+            stack.push_back(
+                Region{true, index.functions.size() - 1});
+            stmt_begin = i + 1;
+        } else {
+            // Resume after the declaration's parameter list, so
+            // default-argument expressions never register as calls.
+            i = close - 1;
+        }
+    }
+}
+
+void
+finalizeIndex(SymbolIndex &index)
+{
+    index.by_name.clear();
+    for (size_t f = 0; f < index.functions.size(); ++f)
+        index.by_name[index.functions[f].name].push_back(f);
+}
+
+} // namespace tlp::lint

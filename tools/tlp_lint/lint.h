@@ -12,6 +12,15 @@
  * doc comments or message strings never fire), and a rule engine driven by
  * a checked-in manifest (tools/lint_manifest.txt) scans the tree.
  *
+ * Since v2 the scan is two-pass and flow-aware: pass 1 builds a tree-wide
+ * symbol index from the lexer's token stream (function definitions and
+ * declarations with their return-type facts, a per-function call graph,
+ * and per-function may-allocate facts), and pass 2 runs cross-TU rule
+ * families over that index — a Status/Result<T> dropped at any call site
+ * (unchecked-result) and heap allocation transitively reachable from a
+ * hot-path entry point (hot-call-alloc) are findings even when caller and
+ * callee live in different TUs.
+ *
  * Findings are suppressible only via an audited comment on the offending
  * line or the line above:
  *
@@ -53,6 +62,24 @@
  *                      from an Arena or storage preallocated at
  *                      construction — one-time sizing carries an audited
  *                      suppression
+ *   unchecked-result   call to a Status/Result<T>-returning function whose
+ *                      value is discarded (not assigned, returned, passed
+ *                      as an argument, or tested) inside a `must-check`
+ *                      scope or a `loader-tu`; flow-aware: the return
+ *                      types come from the tree-wide symbol index, so a
+ *                      dropped Status at any call site is caught even when
+ *                      the callee lives in another TU
+ *   hot-call-alloc     transitive form of hot-alloc: a function reachable
+ *                      on the call graph from a manifest-declared
+ *                      `hot-entry` root that may allocate (heap tokens,
+ *                      container growth, or returning std::string by
+ *                      value) is a finding even when its body lives in a
+ *                      non-hot TU; functions defined inside `hot-tu` TUs
+ *                      are covered by the per-TU hot-alloc rule instead
+ *   suppression-budget the tree carries more `tlp-lint: allow(...)`
+ *                      audits than the manifest's `suppression-budget N`
+ *                      (or --max-suppressions) allows — suppressions may
+ *                      only grow deliberately
  *   pragma-once        header missing #pragma once
  *   float-eq           == / != against a floating-point literal (NaN-label
  *                      hazard; use std::isnan or an epsilon)
@@ -142,7 +169,24 @@ struct Manifest
     std::vector<std::string> raw_io_scopes;
     /** TUs exempt from the raw-io ban (the seam itself). */
     std::set<std::string> raw_io_exempt;
+    /** Prefixes where a discarded Status/Result call is a finding
+     *  (loader-tus are always in scope). */
+    std::vector<std::string> must_check;
+    /** Hot-path roots for transitive allocation tracking; a bare name
+     *  ("seqKeyOf") or a Class::method suffix of the qualified name. */
+    std::set<std::string> hot_entries;
+    /** Max tree-wide `tlp-lint: allow(...)` count; -1 = unlimited. */
+    int suppression_budget = -1;
 };
+
+/**
+ * True when @p path falls under @p prefix at a path-component (or
+ * extension) boundary: "src/tuner/session" matches "src/tuner/session",
+ * "src/tuner/session.cc" and "src/tuner/session/x.cc" but never
+ * "src/tuner/session_extra.cc". A prefix ending in '/' matches every
+ * path under that directory.
+ */
+bool pathInScope(const std::string &path, const std::string &prefix);
 
 /**
  * Parse manifest text. Returns Invalid with a line number on a syntax
@@ -157,18 +201,103 @@ Result<Manifest> loadManifest(const std::string &path);
  * Lint one file. @p rel_path is the root-relative path used for rule
  * scoping (layer membership, allowlists); @p text is the file contents.
  * Returns only unsuppressed findings (plus unused-suppression /
- * bad-suppression findings).
+ * bad-suppression findings). Per-file rules only: the cross-TU rule
+ * families (unchecked-result, hot-call-alloc) need the whole tree and
+ * run through lintSources/lintTree.
  */
 std::vector<Finding> lintFile(const std::string &rel_path,
                               const std::string &text,
                               const Manifest &manifest);
+
+// --- cross-TU symbol index (pass 1 of the flow-aware analysis) ----------
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string name;       ///< unqualified callee name
+    int line = 0;
+    /** True when the call is a whole statement whose value is dropped
+     *  (not assigned, returned, passed as an argument, or tested). */
+    bool discarded = false;
+};
+
+/** One may-allocate fact inside a function body. */
+struct AllocSite
+{
+    int line = 0;
+    std::string what;       ///< e.g. "make_unique", ".push_back("
+};
+
+/** One function definition or declaration seen by the indexer. */
+struct FunctionInfo
+{
+    std::string name;       ///< unqualified, e.g. "parallelFor"
+    std::string qualified;  ///< as written, e.g. "ThreadPool::parallelFor"
+    std::string file;       ///< root-relative defining/declaring TU
+    int line = 0;
+    bool defined = false;   ///< has a body (vs a prototype)
+    /** Returns Status or Result<T> by value (references/pointers are
+     *  accessors and do not count). */
+    bool returns_status = false;
+    /** Returns std::string by value — an allocation at every call. */
+    bool returns_string = false;
+    std::vector<CallSite> calls;    ///< body call sites (defined only)
+    std::vector<AllocSite> allocs;  ///< body may-allocate facts
+    std::set<std::string> locals;   ///< local lambda bindings; calls to
+                                    ///< these resolve inside the body
+};
+
+/** Tree-wide symbol index: pass 1 of the flow-aware rule families. */
+struct SymbolIndex
+{
+    std::vector<FunctionInfo> functions;
+    /** Unqualified name -> indices into functions (finalizeIndex). */
+    std::map<std::string, std::vector<size_t>> by_name;
+};
+
+/** Append every function of one stripped file to @p index. */
+void indexSource(const std::string &rel_path, const StrippedSource &src,
+                 SymbolIndex &index);
+
+/** Rebuild by_name after the last indexSource call. */
+void finalizeIndex(SymbolIndex &index);
+
+/**
+ * Pass 2: run the flow-aware rule families over the finalized index —
+ * unchecked-result over `must-check` scopes + loader-tus, and
+ * hot-call-alloc over everything reachable from the `hot-entry` roots.
+ * Returns raw findings; suppression resolution happens in lintSources.
+ */
+std::vector<Finding> analyzeIndex(const SymbolIndex &index,
+                                  const Manifest &manifest);
+
+/** An in-memory source file for lintSources. */
+struct SourceFile
+{
+    std::string rel_path;
+    std::string text;
+};
 
 /** Result of walking a tree. */
 struct LintReport
 {
     std::vector<Finding> findings;
     int files_scanned = 0;
+    /** Well-formed `tlp-lint: allow(...)` audits across scanned files. */
+    int suppressions = 0;
 };
+
+/**
+ * Lint a whole in-memory tree: per-file rules, the cross-TU index and
+ * flow rules, suppression resolution, and the suppression-budget check.
+ * Files matching a manifest `exclude` prefix must already be filtered
+ * out by the caller.
+ */
+Result<LintReport> lintSources(const std::vector<SourceFile> &files,
+                               const Manifest &manifest);
+
+/** Every rule id the engine can emit (for fixture-coverage meta-tests). */
+std::vector<std::string> allRuleIds();
 
 /**
  * Lint every *.h / *.cc / *.cpp under @p root joined with each of

@@ -7,7 +7,13 @@
  * Exit codes follow the repo-wide contract (DESIGN.md §10/§11): 0 when
  * the scanned tree is clean, 1 on any unsuppressed finding, 2 on a
  * usage or manifest error (TLP_FATAL).
+ *
+ * `--format json` emits a machine-readable report on stdout (CI
+ * archives it as an artifact); the human format on stderr stays the
+ * default. `--max-suppressions N` overrides the manifest's
+ * suppression-budget for the run.
  */
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,11 +27,56 @@ void
 printUsage(std::ostream &os)
 {
     os << "usage: tlp_lint --manifest <file> [--root <dir>] "
-          "<path> [<path> ...]\n"
+          "[--format human|json]\n"
+          "                [--max-suppressions <n>] <path> [<path> ...]\n"
           "\n"
           "Scans *.h / *.cc / *.cpp under each <path> (relative to "
           "--root, default \".\")\nand enforces the invariants declared "
           "in the manifest. See DESIGN.md section 11.\n";
+}
+
+/** JSON string escaping for the --format json report. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+printJson(std::ostream &os, const tlp::lint::LintReport &report)
+{
+    os << "{\n"
+       << "  \"files_scanned\": " << report.files_scanned << ",\n"
+       << "  \"suppressions\": " << report.suppressions << ",\n"
+       << "  \"findings\": [";
+    for (size_t f = 0; f < report.findings.size(); ++f) {
+        const tlp::lint::Finding &finding = report.findings[f];
+        os << (f ? ",\n    {" : "\n    {")
+           << "\"file\": \"" << jsonEscape(finding.file) << "\", "
+           << "\"line\": " << finding.line << ", "
+           << "\"rule\": \"" << jsonEscape(finding.rule) << "\", "
+           << "\"message\": \"" << jsonEscape(finding.message) << "\"}";
+    }
+    os << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
 }
 
 } // namespace
@@ -35,6 +86,9 @@ main(int argc, char **argv)
 {
     std::string manifest_path;
     std::string root = ".";
+    std::string format = "human";
+    int max_suppressions = -1;
+    bool have_max_suppressions = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -51,6 +105,22 @@ main(int argc, char **argv)
             manifest_path = value();
         } else if (arg == "--root") {
             root = value();
+        } else if (arg == "--format") {
+            format = value();
+            if (format != "human" && format != "json")
+                TLP_FATAL("--format expects 'human' or 'json', got ",
+                          format);
+        } else if (arg == "--max-suppressions") {
+            const std::string text = value();
+            try {
+                max_suppressions = std::stoi(text);
+            } catch (const std::exception &) {
+                TLP_FATAL("--max-suppressions expects an integer, got ",
+                          text);
+            }
+            if (max_suppressions < 0)
+                TLP_FATAL("--max-suppressions must be >= 0");
+            have_max_suppressions = true;
         } else if (!arg.empty() && arg[0] == '-') {
             printUsage(std::cerr);
             TLP_FATAL("unknown flag ", arg);
@@ -67,14 +137,19 @@ main(int argc, char **argv)
         TLP_FATAL("no paths to scan");
     }
 
-    const auto manifest = tlp::lint::loadManifest(manifest_path);
+    auto manifest = tlp::lint::loadManifest(manifest_path);
     if (!manifest.ok())
         TLP_FATAL(manifest.status().toString());
+    if (have_max_suppressions)
+        manifest.value().suppression_budget = max_suppressions;
 
     const auto report =
         tlp::lint::lintTree(root, paths, manifest.value());
     if (!report.ok())
         TLP_FATAL(report.status().toString());
+
+    if (format == "json")
+        printJson(std::cout, report.value());
 
     for (const tlp::lint::Finding &finding : report.value().findings)
         std::cerr << finding.toString() << "\n";

@@ -91,7 +91,8 @@ parseManifest(const std::string &text)
             directive == "loader-tu" ||
             directive == "serialize-consumer" || directive == "hot-tu" ||
             directive == "forbid-raw-io" ||
-            directive == "raw-io-exempt") {
+            directive == "raw-io-exempt" || directive == "must-check" ||
+            directive == "hot-entry") {
             if (tokens.size() != 2) {
                 return manifestError(lineno, directive +
                                                  " expects exactly one "
@@ -110,8 +111,26 @@ parseManifest(const std::string &text)
                 manifest.raw_io_scopes.push_back(path);
             else if (directive == "raw-io-exempt")
                 manifest.raw_io_exempt.insert(path);
+            else if (directive == "must-check")
+                manifest.must_check.push_back(path);
+            else if (directive == "hot-entry")
+                manifest.hot_entries.insert(path);
             else
                 manifest.serialize_consumers.insert(path);
+            continue;
+        }
+        if (directive == "suppression-budget") {
+            if (tokens.size() != 2 ||
+                tokens[1].find_first_not_of("0123456789") !=
+                    std::string::npos) {
+                return manifestError(lineno,
+                                     "suppression-budget expects one "
+                                     "non-negative integer");
+            }
+            if (manifest.suppression_budget >= 0)
+                return manifestError(lineno,
+                                     "duplicate suppression-budget");
+            manifest.suppression_budget = std::stoi(tokens[1]);
             continue;
         }
         if (directive == "layer") {
@@ -184,13 +203,33 @@ hasPrefix(const std::string &path, const std::string &prefix)
     return path.compare(0, prefix.size(), prefix) == 0;
 }
 
+} // namespace
+
+bool
+pathInScope(const std::string &path, const std::string &prefix)
+{
+    if (!hasPrefix(path, prefix))
+        return false;
+    // Match only at a path-component or extension boundary: a prefix
+    // "src/tuner/session" covers session.cc / session.h / session/ but
+    // never session_extra.cc. A prefix ending in '/' already sits on a
+    // boundary.
+    if (path.size() == prefix.size() || prefix.empty() ||
+        prefix.back() == '/')
+        return true;
+    const char next = path[prefix.size()];
+    return next == '/' || next == '.';
+}
+
+namespace {
+
 bool
 matchesAnyPrefix(const std::string &path,
                  const std::vector<std::string> &prefixes)
 {
     return std::any_of(prefixes.begin(), prefixes.end(),
                        [&](const std::string &p) {
-                           return hasPrefix(path, p);
+                           return pathInScope(path, p);
                        });
 }
 
@@ -440,13 +479,15 @@ checkMemberStyle(const std::vector<std::string> &code,
 
 } // namespace
 
-// --- lintFile -----------------------------------------------------------
+// --- per-file rules -----------------------------------------------------
 
+namespace {
+
+/** Run every per-file rule; returns raw (pre-suppression) findings. */
 std::vector<Finding>
-lintFile(const std::string &rel_path, const std::string &text,
-         const Manifest &manifest)
+collectFileFindings(const std::string &rel_path, const StrippedSource &src,
+                    const Manifest &manifest)
 {
-    StrippedSource src = stripSource(text);
     std::vector<Finding> raw;
 
     auto add = [&](int line, const char *rule, std::string message) {
@@ -523,7 +564,7 @@ lintFile(const std::string &rel_path, const std::string &text,
         }
     }
     for (const auto &[prefix, banned] : manifest.forbid_includes) {
-        if (!hasPrefix(rel_path, prefix))
+        if (!pathInScope(rel_path, prefix))
             continue;
         for (const auto &[line, inc] : includes) {
             if (inc.find(banned) != std::string::npos) {
@@ -535,7 +576,7 @@ lintFile(const std::string &rel_path, const std::string &text,
         }
     }
     for (const auto &[prefix, required] : manifest.require_includes) {
-        if (!hasPrefix(rel_path, prefix))
+        if (!pathInScope(rel_path, prefix))
             continue;
         const bool found = std::any_of(
             includes.begin(), includes.end(), [&](const auto &entry) {
@@ -621,8 +662,18 @@ lintFile(const std::string &rel_path, const std::string &text,
 
     // (4) member naming style.
     checkMemberStyle(src.code, rel_path, raw);
+    return raw;
+}
 
-    // --- suppression resolution ----------------------------------------
+/**
+ * Resolve suppressions against the raw findings of one file, marking
+ * used audits and reporting unused/malformed ones. Runs once per file,
+ * after every rule (per-file and cross-TU) has contributed.
+ */
+std::vector<Finding>
+resolveSuppressions(const std::string &rel_path, StrippedSource &src,
+                    std::vector<Finding> raw)
+{
     std::vector<Finding> findings;
     for (Finding &f : raw) {
         bool suppressed = false;
@@ -661,6 +712,104 @@ lintFile(const std::string &rel_path, const std::string &text,
                          std::tie(b.line, b.rule);
               });
     return findings;
+}
+
+/** True when @p rel_path belongs in the cross-TU symbol index: every
+ *  must-check scope plus the declared loader / hot TUs. */
+bool
+inIndexScope(const std::string &rel_path, const Manifest &manifest)
+{
+    if (manifest.loader_tus.count(rel_path) ||
+        manifest.hot_tus.count(rel_path))
+        return true;
+    return matchesAnyPrefix(rel_path, manifest.must_check);
+}
+
+} // namespace
+
+// --- lintFile -----------------------------------------------------------
+
+std::vector<Finding>
+lintFile(const std::string &rel_path, const std::string &text,
+         const Manifest &manifest)
+{
+    StrippedSource src = stripSource(text);
+    return resolveSuppressions(
+        rel_path, src, collectFileFindings(rel_path, src, manifest));
+}
+
+// --- lintSources --------------------------------------------------------
+
+std::vector<std::string>
+allRuleIds()
+{
+    return {
+        "rand",           "random-device",     "std-engine",
+        "wallclock",      "layering",          "include-forbidden",
+        "include-required", "loader-fatal",    "unbounded-alloc",
+        "hot-alloc",      "raw-io",            "unchecked-result",
+        "hot-call-alloc", "suppression-budget", "pragma-once",
+        "float-eq",       "member-underscore", "bad-suppression",
+        "unused-suppression",
+    };
+}
+
+Result<LintReport>
+lintSources(const std::vector<SourceFile> &files, const Manifest &manifest)
+{
+    // Pass 1: per-file rules + the symbol index over in-scope files.
+    std::vector<StrippedSource> stripped(files.size());
+    std::vector<std::vector<Finding>> raw(files.size());
+    SymbolIndex index;
+    for (size_t f = 0; f < files.size(); ++f) {
+        stripped[f] = stripSource(files[f].text);
+        raw[f] = collectFileFindings(files[f].rel_path, stripped[f],
+                                     manifest);
+        if (inIndexScope(files[f].rel_path, manifest))
+            indexSource(files[f].rel_path, stripped[f], index);
+    }
+    finalizeIndex(index);
+
+    // Pass 2: flow-aware rules, routed back to their file so the
+    // audited-suppression mechanism applies at the finding's line.
+    std::map<std::string, size_t> file_of;
+    for (size_t f = 0; f < files.size(); ++f)
+        file_of.emplace(files[f].rel_path, f);
+    for (Finding &finding : analyzeIndex(index, manifest)) {
+        const auto it = file_of.find(finding.file);
+        TLP_CHECK(it != file_of.end(),
+                  "cross-TU finding in unscanned file ", finding.file);
+        raw[it->second].push_back(std::move(finding));
+    }
+
+    LintReport report;
+    report.files_scanned = static_cast<int>(files.size());
+    for (size_t f = 0; f < files.size(); ++f) {
+        report.suppressions +=
+            static_cast<int>(stripped[f].suppressions.size());
+        std::vector<Finding> findings = resolveSuppressions(
+            files[f].rel_path, stripped[f], std::move(raw[f]));
+        report.findings.insert(report.findings.end(),
+                               std::make_move_iterator(findings.begin()),
+                               std::make_move_iterator(findings.end()));
+    }
+
+    // The suppression budget: audits may only grow deliberately.
+    if (manifest.suppression_budget >= 0 &&
+        report.suppressions > manifest.suppression_budget) {
+        Finding f;
+        f.file = "<tree>";
+        f.line = 0;
+        f.rule = "suppression-budget";
+        f.message = "tree carries " +
+                    std::to_string(report.suppressions) +
+                    " tlp-lint suppressions, budget is " +
+                    std::to_string(manifest.suppression_budget) +
+                    "; remove audits or raise suppression-budget / "
+                    "--max-suppressions deliberately";
+        report.findings.push_back(std::move(f));
+    }
+    return report;
 }
 
 // --- lintTree -----------------------------------------------------------
@@ -702,7 +851,8 @@ lintTree(const std::string &root, const std::vector<std::string> &dirs,
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    LintReport report;
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
     for (const std::string &rel : files) {
         if (matchesAnyPrefix(rel, manifest.excludes))
             continue;
@@ -713,14 +863,9 @@ lintTree(const std::string &root, const std::vector<std::string> &dirs,
         }
         std::ostringstream buffer;
         buffer << is.rdbuf();
-        ++report.files_scanned;
-        std::vector<Finding> findings =
-            lintFile(rel, buffer.str(), manifest);
-        report.findings.insert(report.findings.end(),
-                               std::make_move_iterator(findings.begin()),
-                               std::make_move_iterator(findings.end()));
+        sources.push_back({rel, buffer.str()});
     }
-    return report;
+    return lintSources(sources, manifest);
 }
 
 } // namespace tlp::lint
